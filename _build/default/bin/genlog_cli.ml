@@ -1,0 +1,229 @@
+(* genlog_cli: command-line driver.
+
+     genlog_cli gen adder -o adder.aag          generate a benchmark
+     genlog_cli stats adder.aag                 print size/depth
+     genlog_cli opt adder.aag -r mig -o out.aag run compress2rs
+     genlog_cli map adder.aag -k 6 -o out.blif  6-LUT mapping
+     genlog_cli cec a.aag b.aag                 SAT equivalence check *)
+
+open Cmdliner
+
+module Aig = Genlog.Aig
+module D = Genlog.Depth.Make (Aig)
+
+let read_aig path = Genlog.Aiger.read_file path
+
+let stats_of_aig t =
+  Printf.sprintf "i/o = %d/%d  gates = %d  depth = %d" (Aig.num_pis t)
+    (Aig.num_pos t) (Aig.num_gates t) (D.depth t)
+
+(* -- gen -- *)
+
+let gen_cmd =
+  let bench_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run name output =
+    if not (List.mem name Genlog.Suite.names) then begin
+      Printf.eprintf "unknown benchmark %s; available: %s\n" name
+        (String.concat ", " Genlog.Suite.names);
+      exit 1
+    end;
+    let t = Genlog.Suite.build name in
+    (match output with
+    | Some path -> Genlog.Aiger.write_file t path
+    | None -> Genlog.Aiger.write t stdout);
+    Printf.eprintf "%s: %s\n" name (stats_of_aig t)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a benchmark circuit as ASCII AIGER")
+    Term.(const run $ bench_name $ output)
+
+(* -- stats -- *)
+
+let stats_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file = Printf.printf "%s: %s\n" file (stats_of_aig (read_aig file)) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print network statistics") Term.(const run $ file)
+
+(* -- opt -- *)
+
+let representation =
+  Arg.(
+    value
+    & opt (enum [ ("aig", `Aig); ("mig", `Mig); ("xag", `Xag); ("xmg", `Xmg) ]) `Aig
+    & info [ "r"; "representation" ] ~docv:"REP")
+
+let script_arg =
+  Arg.(
+    value
+    & opt string Genlog.Script.compress2rs
+    & info [ "s"; "script" ] ~docv:"SCRIPT")
+
+let opt_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run file rep script output =
+    let t = read_aig file in
+    Printf.eprintf "baseline: %s\n%!" (stats_of_aig t);
+    let optimized_aig =
+      match rep with
+      | `Aig ->
+        let module F = Genlog.Flow.Make (Aig) in
+        let r = F.run_script (Genlog.Flow.aig_env ()) t script in
+        Printf.eprintf "aig: gates = %d depth = %d\n%!" (Aig.num_gates r) (D.depth r);
+        r
+      | `Mig ->
+        let module C = Genlog.Convert.Make (Aig) (Genlog.Mig) in
+        let module Cb = Genlog.Convert.Make (Genlog.Mig) (Aig) in
+        let module F = Genlog.Flow.Make (Genlog.Mig) in
+        let module Dm = Genlog.Depth.Make (Genlog.Mig) in
+        let r = F.run_script (Genlog.Flow.mig_env ()) (C.convert t) script in
+        Printf.eprintf "mig: gates = %d depth = %d (written back as AIG)\n%!"
+          (Genlog.Mig.num_gates r) (Dm.depth r);
+        Cb.convert r
+      | `Xag ->
+        let module C = Genlog.Convert.Make (Aig) (Genlog.Xag) in
+        let module Cb = Genlog.Convert.Make (Genlog.Xag) (Aig) in
+        let module F = Genlog.Flow.Make (Genlog.Xag) in
+        let module Dx = Genlog.Depth.Make (Genlog.Xag) in
+        let r = F.run_script (Genlog.Flow.xag_env ()) (C.convert t) script in
+        Printf.eprintf "xag: gates = %d depth = %d (written back as AIG)\n%!"
+          (Genlog.Xag.num_gates r) (Dx.depth r);
+        Cb.convert r
+      | `Xmg ->
+        let module C = Genlog.Convert.Make (Aig) (Genlog.Xmg) in
+        let module Cb = Genlog.Convert.Make (Genlog.Xmg) (Aig) in
+        let module F = Genlog.Flow.Make (Genlog.Xmg) in
+        let module Dx = Genlog.Depth.Make (Genlog.Xmg) in
+        let r = F.run_script (Genlog.Flow.xmg_env ()) (C.convert t) script in
+        Printf.eprintf "xmg: gates = %d depth = %d (written back as AIG)\n%!"
+          (Genlog.Xmg.num_gates r) (Dx.depth r);
+        Cb.convert r
+    in
+    match output with
+    | Some path -> Genlog.Aiger.write_file optimized_aig path
+    | None -> Genlog.Aiger.write optimized_aig stdout
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Optimize with the generic resynthesis flow")
+    Term.(const run $ file $ representation $ script_arg $ output)
+
+(* -- map -- *)
+
+let map_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let k = Arg.(value & opt int 6 & info [ "k" ] ~docv:"K") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run file k output =
+    let t = read_aig file in
+    let module L = Genlog.Lutmap.Make (Aig) in
+    let m = L.map t ~k () in
+    Printf.eprintf "%d-LUTs: %d  depth: %d\n%!" k m.L.lut_count m.L.depth;
+    match output with
+    | Some path -> Genlog.Blif.write_file m.L.klut path
+    | None -> Genlog.Blif.write m.L.klut stdout
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Map into k-input LUTs, writing BLIF")
+    Term.(const run $ file $ k $ output)
+
+(* -- cec -- *)
+
+let cec_cmd =
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B") in
+  let run file_a file_b =
+    let a = read_aig file_a and b = read_aig file_b in
+    let module C = Genlog.Cec.Make (Aig) (Aig) in
+    match C.check a b with
+    | Genlog.Cec.Equivalent ->
+      print_endline "EQUIVALENT";
+      exit 0
+    | Genlog.Cec.Counterexample cex ->
+      Printf.printf "NOT EQUIVALENT: counterexample =";
+      Array.iter (fun v -> print_string (if v then " 1" else " 0")) cex;
+      print_newline ();
+      exit 1
+    | Genlog.Cec.Unknown ->
+      print_endline "UNKNOWN";
+      exit 2
+  in
+  Cmd.v (Cmd.info "cec" ~doc:"SAT combinational equivalence check")
+    Term.(const run $ file_a $ file_b)
+
+(* -- exact -- *)
+
+let exact_cmd =
+  let hex = Arg.(required & pos 0 (some string) None & info [] ~docv:"HEX") in
+  let rep =
+    Arg.(
+      value
+      & opt (enum [ ("aig", `Aig); ("xag", `Xag); ("mig", `Mig); ("xmg", `Xmg) ]) `Xag
+      & info [ "r"; "representation" ] ~docv:"REP")
+  in
+  let run hex rep =
+    (* infer the variable count from the hex length: 2^n bits = 4*len *)
+    let bits = 4 * String.length hex in
+    let n =
+      let rec go n = if 1 lsl n >= bits then n else go (n + 1) in
+      go 0
+    in
+    let f = Genlog.Tt.of_hex n hex in
+    let config =
+      match rep with
+      | `Aig -> Genlog.Exact_synth.aig_config
+      | `Xag -> Genlog.Exact_synth.xag_config
+      | `Mig -> Genlog.Exact_synth.mig_config
+      | `Xmg -> Genlog.Exact_synth.xmg_config
+    in
+    match Genlog.Exact_synth.synthesize config f with
+    | Genlog.Exact_synth.Const b -> Printf.printf "constant %d\n" (if b then 1 else 0)
+    | Genlog.Exact_synth.Projection (v, c) ->
+      Printf.printf "%sx%d (wire)\n" (if c then "!" else "") v
+    | Genlog.Exact_synth.Chain c ->
+      Format.printf "%a" Genlog.Exact_chain.pp c;
+      Printf.printf "optimal size: %d gates\n" (Genlog.Exact_chain.size c)
+    | Genlog.Exact_synth.Failed ->
+      print_endline "synthesis gave up (budget exhausted)";
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"SAT-exact synthesis of a function given as a hex truth table")
+    Term.(const run $ hex $ rep)
+
+(* -- fraig -- *)
+
+let fraig_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run file output =
+    let t = read_aig file in
+    Printf.eprintf "before: %s\n%!" (stats_of_aig t);
+    let module Fr = Genlog.Fraig.Make (Aig) in
+    let stats = Fr.run t () in
+    let module Cl = Genlog.Convert.Cleanup (Aig) in
+    let t = Cl.cleanup t in
+    Printf.eprintf "after:  %s (%d proved, %d refuted, %d unknown)\n%!"
+      (stats_of_aig t) stats.Fr.proved stats.Fr.refuted stats.Fr.unknown;
+    match output with
+    | Some path -> Genlog.Aiger.write_file t path
+    | None -> Genlog.Aiger.write t stdout
+  in
+  Cmd.v (Cmd.info "fraig" ~doc:"SAT sweeping (functional reduction)")
+    Term.(const run $ file $ output)
+
+let () =
+  let info = Cmd.info "genlog_cli" ~doc:"Generic logic synthesis (DAC'19 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; stats_cmd; opt_cmd; map_cmd; cec_cmd; exact_cmd; fraig_cmd ]))

@@ -1,0 +1,1 @@
+examples/exact_gallery.ml: Exact_chain Exact_synth Genlog Hashtbl Int64 List Npn Option Printf Tt

@@ -1,0 +1,1 @@
+examples/majority_flow.ml: Array Blocks Cec Convert Depth Flow Genlog Mig Printf Script

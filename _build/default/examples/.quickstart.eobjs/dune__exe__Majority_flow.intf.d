@@ -1,0 +1,1 @@
+examples/majority_flow.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Aiger Blif Blocks Cec Convert Depth Flow Genlog Lutmap Printf Script

@@ -1,0 +1,1 @@
+examples/technology_explorer.ml: Aig Array Depth Flow Genlog List Printf String Suite Sys

@@ -1,0 +1,1 @@
+examples/technology_explorer.mli:

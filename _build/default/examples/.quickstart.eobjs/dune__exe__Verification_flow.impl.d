@@ -1,0 +1,1 @@
+examples/verification_flow.ml: Aig Array Blocks Cec Convert Depth Fraig Genlog List Printf Resub

@@ -1,0 +1,32 @@
+(* Technology explorer: the paper's portfolio approach (§3, conclusion).
+
+   The same generic flow runs on AIG, MIG and XAG representations of one
+   design; each result is mapped into 6-LUTs and the best representation
+   wins.  Arithmetic circuits tend to favour MIGs (majority carries),
+   XOR-rich ones favour XAGs — run it on a multiplier and see.
+
+   Run with:  dune exec examples/technology_explorer.exe -- [benchmark] *)
+
+open Genlog
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "multiplier" in
+  if not (List.mem name Suite.names) then begin
+    Printf.eprintf "unknown benchmark %s; available: %s\n" name
+      (String.concat ", " Suite.names);
+    exit 1
+  end;
+  let baseline = Suite.build name in
+  let module D = Depth.Make (Aig) in
+  Printf.printf "benchmark %s: %d AND gates, depth %d (AIG baseline)\n\n" name
+    (Aig.num_gates baseline) (D.depth baseline);
+  Printf.printf "%-6s %10s %8s %8s %10s %9s\n" "rep" "gates" "levels" "6-LUTs"
+    "LUT-depth" "time";
+  let result = Flow.Portfolio.run baseline in
+  List.iter
+    (fun (e : Flow.Portfolio.entry) ->
+      Printf.printf "%-6s %10d %8d %8d %10d %8.2fs\n" e.representation e.nodes
+        e.levels e.luts e.lut_levels e.time)
+    result.entries;
+  Printf.printf "\nportfolio winner: %s with %d LUTs\n"
+    result.best.representation result.best.luts

@@ -1,0 +1,1 @@
+lib/algo/balance.ml: Array Depth Hashtbl List Network Topo

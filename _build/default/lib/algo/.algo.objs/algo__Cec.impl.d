@@ -1,0 +1,1 @@
+lib/algo/cec.ml: Array Cube Isop Kitty List Network Satkit Topo Tt

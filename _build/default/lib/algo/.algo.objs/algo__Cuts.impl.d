@@ -1,0 +1,1 @@
+lib/algo/cuts.ml: Array Hashtbl Kitty List Network Stdlib Topo Tt

@@ -1,0 +1,1 @@
+lib/algo/depth.ml: Array List Network Topo

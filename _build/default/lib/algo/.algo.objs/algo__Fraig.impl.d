@@ -1,0 +1,1 @@
+lib/algo/fraig.ml: Array Cec Hashtbl Kitty List Network Satkit Simulate Topo Tt

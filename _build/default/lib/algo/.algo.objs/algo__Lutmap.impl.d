@@ -1,0 +1,1 @@
+lib/algo/lutmap.ml: Array Cuts Depth Hashtbl List Network Topo

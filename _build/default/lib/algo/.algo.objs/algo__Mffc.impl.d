@@ -1,0 +1,1 @@
+lib/algo/mffc.ml: List Network

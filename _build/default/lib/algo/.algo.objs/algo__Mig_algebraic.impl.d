@@ -1,0 +1,1 @@
+lib/algo/mig_algebraic.ml: Array Depth Hashtbl List Mig Network Topo

@@ -1,0 +1,1 @@
+lib/algo/odc.ml: Array Hashtbl Kitty List Network Simulate Tt Window

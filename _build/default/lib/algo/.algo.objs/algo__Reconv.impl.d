@@ -1,0 +1,1 @@
+lib/algo/reconv.ml: List Network

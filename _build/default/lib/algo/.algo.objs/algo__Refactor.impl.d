@@ -1,0 +1,1 @@
+lib/algo/refactor.ml: Array Hashtbl List Mffc Network Topo Window

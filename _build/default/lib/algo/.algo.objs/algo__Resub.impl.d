@@ -1,0 +1,1 @@
+lib/algo/resub.ml: Array Hashtbl Kitty List Mffc Network Odc Reconv Topo Tt Window

@@ -1,0 +1,1 @@
+lib/algo/rewrite.ml: Array Cuts Exact List Network Topo

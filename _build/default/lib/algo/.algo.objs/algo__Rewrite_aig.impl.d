@@ -1,0 +1,1 @@
+lib/algo/rewrite_aig.ml: Aig Array Exact Kitty List Network Topo

@@ -1,0 +1,1 @@
+lib/algo/simulate.ml: Array Kitty List Network Random Topo Tt

@@ -1,0 +1,1 @@
+lib/algo/topo.ml: Array Hashtbl List Network

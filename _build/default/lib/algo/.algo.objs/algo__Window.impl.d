@@ -1,0 +1,1 @@
+lib/algo/window.ml: Array Hashtbl Kitty List Mffc Network Simulate Tt

@@ -1,0 +1,128 @@
+(* Combinational equivalence checking: a SAT miter over two networks of
+   possibly different representations.  Gates are Tseitin-encoded from
+   their kinds (LUTs through ISOP covers of both polarities), the primary
+   inputs are shared, and the miter asserts that some output pair
+   differs. *)
+
+open Kitty
+
+type result =
+  | Equivalent
+  | Counterexample of bool array  (* PI assignment *)
+  | Unknown
+
+module Make (A : Network.Intf.NETWORK) (B : Network.Intf.NETWORK) = struct
+  module Ta = Topo.Make (A)
+  module Tb = Topo.Make (B)
+
+  (* Tseitin-encode one network into [solver]; returns the CNF variable of
+     every node (index -1 where a node was not reachable).  [pi_vars.(i)] is
+     the shared variable of primary input i.  Also used by [Fraig] for SAT
+     sweeping. *)
+  let encode_nodes (type t) (module N : Network.Intf.NETWORK with type t = t)
+      (net : t) solver (pi_vars : int array) const_var : int array =
+    let module Tn = Topo.Make (N) in
+    let node_var = Array.make (N.size net) (-1) in
+    node_var.(0) <- const_var;
+    Array.iteri (fun i n -> node_var.(n) <- pi_vars.(i)) (N.pis net);
+    let lit_of_signal s =
+      Satkit.Lit.of_var node_var.(N.node_of_signal s)
+        ~negated:(N.is_complemented s)
+    in
+    List.iter
+      (fun n ->
+        let v = Satkit.Solver.new_var solver in
+        node_var.(n) <- v;
+        let out_pos = Satkit.Lit.of_var v ~negated:false in
+        let out_neg = Satkit.Lit.of_var v ~negated:true in
+        let ins = Array.map lit_of_signal (N.fanin net n) in
+        let add = Satkit.Solver.add_clause solver in
+        match N.gate_kind net n with
+        | Network.Kind.And ->
+          (* v -> each input; all inputs -> v *)
+          Array.iter (fun l -> add [ out_neg; l ]) ins;
+          add (out_pos :: Array.to_list (Array.map Satkit.Lit.neg ins))
+        | Network.Kind.Xor ->
+          assert (Array.length ins = 2);
+          let a = ins.(0) and b = ins.(1) in
+          let na = Satkit.Lit.neg a and nb = Satkit.Lit.neg b in
+          add [ out_neg; a; b ];
+          add [ out_neg; na; nb ];
+          add [ out_pos; a; nb ];
+          add [ out_pos; na; b ]
+        | Network.Kind.Maj ->
+          assert (Array.length ins = 3);
+          let a = ins.(0) and b = ins.(1) and c = ins.(2) in
+          let n_ l = Satkit.Lit.neg l in
+          (* any two inputs true force v; any two false force !v *)
+          add [ out_pos; n_ a; n_ b ];
+          add [ out_pos; n_ a; n_ c ];
+          add [ out_pos; n_ b; n_ c ];
+          add [ out_neg; a; b ];
+          add [ out_neg; a; c ];
+          add [ out_neg; b; c ]
+        | Network.Kind.Lut tt ->
+          (* cube -> v for the on-set, cube -> !v for the off-set *)
+          let clause_of_cube out cube =
+            out
+            :: List.map
+                 (fun (var, pol) ->
+                   if pol then Satkit.Lit.neg ins.(var) else ins.(var))
+                 (Cube.literals cube)
+          in
+          List.iter (fun c -> add (clause_of_cube out_pos c)) (Isop.of_tt tt);
+          List.iter
+            (fun c -> add (clause_of_cube out_neg c))
+            (Isop.of_tt (Tt.( ~: ) tt))
+        | Network.Kind.Const | Network.Kind.Pi -> assert false)
+      (Tn.order net);
+    node_var
+
+  (* Encode a network and return literals for its primary outputs. *)
+  let encode (type t) (module N : Network.Intf.NETWORK with type t = t)
+      (net : t) solver (pi_vars : int array) const_var =
+    let node_var = encode_nodes (module N) net solver pi_vars const_var in
+    Array.map
+      (fun s ->
+        Satkit.Lit.of_var node_var.(N.node_of_signal s)
+          ~negated:(N.is_complemented s))
+      (N.pos net)
+
+  (* SAT equivalence check. *)
+  let check ?(conflict_budget = 0) (a : A.t) (b : B.t) : result =
+    if A.num_pis a <> B.num_pis b || A.num_pos a <> B.num_pos b then
+      Counterexample [||]
+    else begin
+      let solver = Satkit.Solver.create () in
+      let const_var = Satkit.Solver.new_var solver in
+      Satkit.Solver.add_clause solver
+        [ Satkit.Lit.of_var const_var ~negated:true ];
+      let pi_vars =
+        Array.init (A.num_pis a) (fun _ -> Satkit.Solver.new_var solver)
+      in
+      let pos_a = encode (module A) a solver pi_vars const_var in
+      let pos_b = encode (module B) b solver pi_vars const_var in
+      (* diff_i <-> (pa_i xor pb_i); assert OR diff_i *)
+      let diffs =
+        Array.map2
+          (fun la lb ->
+            let d = Satkit.Solver.new_var solver in
+            let dp = Satkit.Lit.of_var d ~negated:false in
+            let dn = Satkit.Lit.of_var d ~negated:true in
+            let na = Satkit.Lit.neg la and nb = Satkit.Lit.neg lb in
+            Satkit.Solver.add_clause solver [ dn; la; lb ];
+            Satkit.Solver.add_clause solver [ dn; na; nb ];
+            Satkit.Solver.add_clause solver [ dp; la; nb ];
+            Satkit.Solver.add_clause solver [ dp; na; lb ];
+            dp)
+          pos_a pos_b
+      in
+      Satkit.Solver.add_clause solver (Array.to_list diffs);
+      match Satkit.Solver.solve ~conflict_budget solver with
+      | Satkit.Solver.Unsat -> Equivalent
+      | Satkit.Solver.Unknown -> Unknown
+      | Satkit.Solver.Sat ->
+        Counterexample
+          (Array.map (fun v -> Satkit.Solver.model_value solver v) pi_vars)
+    end
+end

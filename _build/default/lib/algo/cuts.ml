@@ -1,0 +1,165 @@
+(* Bottom-up cut enumeration through the Cartesian-product method
+   (paper §2.2.1): the cut set of a gate is the merge of its fanin cut
+   sets, pruned to [cut_limit] priority cuts of at most [k] leaves, plus
+   the trivial cut.  Truth tables are computed alongside (paper §2.2.2),
+   expressed over the cut leaves in ascending node order. *)
+
+open Kitty
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module T = Topo.Make (N)
+
+  type cut = {
+    leaves : N.node array;  (* ascending node ids; never constants *)
+    tt : Tt.t;              (* over [Array.length leaves] variables *)
+  }
+
+  type result = {
+    cuts : cut list array;  (* indexed by node *)
+    k : int;
+  }
+
+  let trivial_cut n = { leaves = [| n |]; tt = Tt.nth_var 1 0 }
+  let constant_cut = { leaves = [||]; tt = Tt.const0 0 }
+
+  (* merge sorted leaf arrays; None when the union exceeds [k] *)
+  let merge_leaves k a b =
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (min k (la + lb)) 0 in
+    let rec go i j m =
+      if i < la && j < lb then begin
+        if m >= k then None
+        else if a.(i) = b.(j) then begin
+          out.(m) <- a.(i);
+          go (i + 1) (j + 1) (m + 1)
+        end
+        else if a.(i) < b.(j) then begin
+          out.(m) <- a.(i);
+          go (i + 1) j (m + 1)
+        end
+        else begin
+          out.(m) <- b.(j);
+          go i (j + 1) (m + 1)
+        end
+      end
+      else begin
+        let rest, ri, rl = if i < la then (a, i, la) else (b, j, lb) in
+        if m + (rl - ri) > k then None
+        else begin
+          Array.blit rest ri out m (rl - ri);
+          Some (Array.sub out 0 (m + (rl - ri)))
+        end
+      end
+    in
+    go 0 0 0
+
+  let index_of leaves x =
+    let rec go i = if leaves.(i) = x then i else go (i + 1) in
+    go 0
+
+  (* express a child-cut function over the merged leaves *)
+  let remap child merged =
+    let m = Array.length merged in
+    if Array.length child.leaves = 0 then
+      if Tt.is_const1 child.tt then Tt.const1 m else Tt.const0 m
+    else begin
+      let args =
+        Array.map (fun leaf -> Tt.nth_var m (index_of merged leaf)) child.leaves
+      in
+      Tt.apply child.tt args
+    end
+
+  let subset a b =
+    (* is sorted array [a] a subset of sorted array [b]? *)
+    let la = Array.length a and lb = Array.length b in
+    let rec go i j =
+      if i >= la then true
+      else if j >= lb then false
+      else if a.(i) = b.(j) then go (i + 1) (j + 1)
+      else if a.(i) > b.(j) then go i (j + 1)
+      else false
+    in
+    go 0 0
+
+  (* Enumerate cuts for every node reachable from the outputs.
+
+     [prefer] decides which cuts survive the [cut_limit] cap: rewriting
+     wants small cuts (cheap replacement search), LUT mapping wants wide
+     cuts (fewer LUTs in the cover). *)
+  let enumerate (net : N.t) ?(k = 4) ?(cut_limit = 8) ?(prefer = `Small) () :
+      result =
+    let cuts = Array.make (N.size net) [] in
+    cuts.(0) <- [ constant_cut ];
+    N.foreach_pi net (fun n -> cuts.(n) <- [ trivial_cut n ]);
+    let node_fn_cache = Hashtbl.create 16 in
+    let node_fn n =
+      let key = (N.gate_kind net n, N.fanin_size net n) in
+      match Hashtbl.find_opt node_fn_cache key with
+      | Some f -> f
+      | None ->
+        let f = N.node_function net n in
+        Hashtbl.replace node_fn_cache key f;
+        f
+    in
+    List.iter
+      (fun n ->
+        let fanins = N.fanin net n in
+        let child_cuts =
+          Array.map (fun s -> cuts.(N.node_of_signal s)) fanins
+        in
+        let acc = ref [] in
+        (* Cartesian product over fanin cut sets *)
+        let rec product i merged chosen =
+          if i >= Array.length fanins then begin
+            let merged = Array.of_list (List.sort Stdlib.compare merged) in
+            (* dedup / dominance against cuts found so far *)
+            let dominated =
+              List.exists (fun c -> subset c.leaves merged) !acc
+            in
+            if not dominated then begin
+              let chosen = Array.of_list (List.rev chosen) in
+              let m_cut = { leaves = merged; tt = Tt.const0 0 } in
+              let args =
+                Array.mapi
+                  (fun fi child ->
+                    let v = remap child m_cut.leaves in
+                    if N.is_complemented fanins.(fi) then Tt.( ~: ) v else v)
+                  chosen
+              in
+              let tt = Tt.apply (node_fn n) args in
+              acc := { leaves = merged; tt } :: !acc
+            end
+          end
+          else
+            List.iter
+              (fun (child : cut) ->
+                (* merge child leaves into the accumulated set *)
+                let sorted = Array.of_list (List.sort Stdlib.compare merged) in
+                match merge_leaves k sorted child.leaves with
+                | None -> ()
+                | Some u ->
+                  product (i + 1) (Array.to_list u) (child :: chosen))
+              child_cuts.(i)
+        in
+        product 0 [] [];
+        (* rank by leaf count per [prefer], cap the list, append trivial *)
+        let sorted =
+          let by_size a b =
+            Stdlib.compare (Array.length a.leaves) (Array.length b.leaves)
+          in
+          List.sort
+            (match prefer with
+            | `Small -> by_size
+            | `Large -> fun a b -> by_size b a)
+            (List.rev !acc)
+        in
+        let rec take n = function
+          | [] -> []
+          | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+        in
+        cuts.(n) <- take (cut_limit - 1) sorted @ [ trivial_cut n ])
+      (T.order net);
+    { cuts; k }
+
+  let cuts_of r n = r.cuts.(n)
+end

@@ -1,0 +1,22 @@
+(* Logic depth under the unit-delay model — the paper's Algorithm 1,
+   expressed against the network interface API only. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module T = Topo.Make (N)
+
+  (* Level of every node (array indexed by node id) and the network depth. *)
+  let compute (t : N.t) : int array * int =
+    let levels = Array.make (N.size t) 0 in
+    List.iter
+      (fun n ->
+        let l = ref 0 in
+        N.foreach_fanin t n (fun s ->
+            l := max !l levels.(N.node_of_signal s));
+        levels.(n) <- !l + 1)
+      (T.order t);
+    let depth = ref 0 in
+    N.foreach_po t (fun s -> depth := max !depth levels.(N.node_of_signal s));
+    (levels, !depth)
+
+  let depth t = snd (compute t)
+end

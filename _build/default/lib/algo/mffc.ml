@@ -1,0 +1,55 @@
+(* Maximum fanout-free cones, computed with reference counters
+   (paper §2.2.3): a gate belongs to the MFFC of [n] when removing [n]
+   makes its reference count drop to zero. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  (* Number of gates that die when [n] is removed (including [n]). *)
+  let size (t : N.t) (n : N.node) : int =
+    if not (N.is_gate t n) then 0
+    else begin
+      let freed = N.recursive_deref t n in
+      let restored = N.recursive_ref t n in
+      assert (freed = restored);
+      freed + 1
+    end
+
+  (* The gates of the MFFC of [n], root first. *)
+  let collect (t : N.t) (n : N.node) : N.node list =
+    if not (N.is_gate t n) then []
+    else begin
+      let acc = ref [] in
+      let rec deref m =
+        acc := m :: !acc;
+        N.foreach_fanin t m (fun s ->
+            let c = N.node_of_signal s in
+            if N.decr_ref t c = 0 && N.is_gate t c then deref c)
+      in
+      let rec undo m =
+        N.foreach_fanin t m (fun s ->
+            let c = N.node_of_signal s in
+            if N.incr_ref t c = 1 && N.is_gate t c then undo c)
+      in
+      deref n;
+      undo n;
+      List.rev !acc
+    end
+
+  (* Leaves of the MFFC of [n]: boundary signals feeding the cone from
+     outside. *)
+  let leaves (t : N.t) (n : N.node) : N.node list =
+    let cone = collect t n in
+    let id = N.new_traversal_id t in
+    List.iter (fun m -> N.set_visited t m id) cone;
+    let leaf_id = N.new_traversal_id t in
+    let acc = ref [] in
+    List.iter
+      (fun m ->
+        N.foreach_fanin t m (fun s ->
+            let c = N.node_of_signal s in
+            if N.visited t c <> id && N.visited t c <> leaf_id then begin
+              N.set_visited t c leaf_id;
+              acc := c :: !acc
+            end))
+      cone;
+    List.rev !acc
+end

@@ -1,0 +1,136 @@
+(* Window-based observability don't-cares (after the don't-care-based
+   resynthesis the paper cites as refs [15,17]).
+
+   For a node [n], collect a bounded fanout window (all transitive fanouts
+   up to [tfo_levels]); its frontier nodes are the observation points.  All
+   signals feeding the window that are not produced inside it become free
+   window leaves.  Simulating the window twice — once as-is, once with [n]
+   complemented — and OR-ing the differences at the observation points
+   yields the care set of [n] over the window leaves; everything else is an
+   observability don't-care, which resubstitution can exploit.
+
+   Treating side inputs as free variables over-approximates the reachable
+   value combinations, so the computed care set is itself an
+   over-approximation: using it is always sound. *)
+
+open Kitty
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module S = Simulate.Make (N)
+
+  type window = {
+    node : N.node;
+    leaves : N.node array;   (* free inputs of the window; the caller's
+                                base leaves come first *)
+    care : Tt.t;             (* over the caller's base leaves *)
+    values : (N.node, Tt.t) Hashtbl.t;  (* original simulation values *)
+  }
+
+  (* Bounded transitive fanout of [n]. *)
+  let tfo_set (net : N.t) n ~levels =
+    let set = Hashtbl.create 32 in
+    let rec go m depth =
+      if depth <= levels && not (Hashtbl.mem set m) then begin
+        Hashtbl.replace set m depth;
+        List.iter (fun p -> if not (N.is_dead net p) then go p (depth + 1))
+          (N.fanout net m)
+      end
+    in
+    List.iter (fun p -> if not (N.is_dead net p) then go p 1) (N.fanout net n);
+    set
+
+  (* Compute the ODC window of [n] over the given [base_leaves] (typically
+     the resubstitution window's leaves); the care set is returned over
+     exactly those leaves, with the extra window inputs existentially
+     quantified away.  [None] when the window grows past the bounds (the
+     caller then falls back to the full care set). *)
+  let compute (net : N.t) (n : N.node) ~(base_leaves : N.node list)
+      ?(tfo_levels = 3) ?(max_leaves = 16) () : window option =
+    let tfo = tfo_set net n ~levels:tfo_levels in
+    if Hashtbl.length tfo = 0 then None
+    else begin
+      (* the window body: n, its TFI cone above the base leaves, the TFO
+         nodes; everything else feeding the TFO becomes an extra leaf *)
+      let module W = Window.Make (N) in
+      let w = W.of_cut net n base_leaves in
+      let inside = Hashtbl.create 64 in
+      List.iter (fun m -> Hashtbl.replace inside m ()) w.W.cone;
+      Hashtbl.iter (fun m _ -> Hashtbl.replace inside m ()) tfo;
+      let leaves = ref (List.rev (Array.to_list w.W.leaves)) in
+      let num_leaves = ref (List.length !leaves) in
+      List.iter (fun l -> Hashtbl.replace inside l ()) !leaves;
+      let ok = ref true in
+      Hashtbl.iter
+        (fun m _ ->
+          if !ok then
+            Array.iter
+              (fun s ->
+                let c = N.node_of_signal s in
+                if (not (Hashtbl.mem inside c)) && not (N.is_constant net c)
+                then begin
+                  if !num_leaves >= max_leaves then ok := false
+                  else begin
+                    Hashtbl.replace inside c ();
+                    leaves := c :: !leaves;
+                    incr num_leaves
+                  end
+                end)
+              (N.fanin net m))
+        tfo;
+      if not !ok then None
+      else begin
+        let leaves = Array.of_list (List.rev !leaves) in
+        (* simulate the window: TFI cone first, then TFO nodes in
+           topological order *)
+        let nv = Array.length leaves in
+        let values = Hashtbl.create 64 in
+        Hashtbl.replace values 0 (Tt.const0 nv);
+        Array.iteri (fun i l -> Hashtbl.replace values l (Tt.nth_var nv i)) leaves;
+        let rec value tbl m =
+          match Hashtbl.find_opt tbl m with
+          | Some v -> v
+          | None ->
+            let v = S.gate_value net m (fun c -> value tbl c) in
+            Hashtbl.replace tbl m v;
+            v
+        in
+        let v_n = value values n in
+        (* TFO nodes in dependency order via recursion *)
+        let tfo_nodes = Hashtbl.fold (fun m _ acc -> m :: acc) tfo [] in
+        List.iter (fun m -> ignore (value values m)) tfo_nodes;
+        (* second simulation with n complemented; only the TFO changes *)
+        let values' = Hashtbl.copy values in
+        Hashtbl.replace values' n (Tt.( ~: ) v_n);
+        List.iter (fun m -> Hashtbl.remove values' m) tfo_nodes;
+        List.iter (fun m -> ignore (value values' m)) tfo_nodes;
+        (* observation points: TFO nodes with fanout outside the window or
+           feeding a primary output *)
+        let po_nodes = Hashtbl.create 16 in
+        N.foreach_po net (fun s ->
+            Hashtbl.replace po_nodes (N.node_of_signal s) ());
+        let care = ref (Tt.const0 nv) in
+        Hashtbl.iter
+          (fun m depth ->
+            let is_exit =
+              depth >= tfo_levels
+              || Hashtbl.mem po_nodes m
+              || List.exists (fun p -> not (Hashtbl.mem tfo p)) (N.fanout net m)
+            in
+            if is_exit then
+              care :=
+                Tt.( |: ) !care
+                  (Tt.( ^: ) (Hashtbl.find values m) (Hashtbl.find values' m)))
+          tfo;
+        (* if n itself drives a PO, every minterm is observable *)
+        if Hashtbl.mem po_nodes n then care := Tt.const1 nv;
+        (* project onto the base leaves: existentially quantify the extras *)
+        let num_base = List.length base_leaves in
+        let projected = ref !care in
+        for v = num_base to nv - 1 do
+          projected := Tt.exists !projected v
+        done;
+        let care = Tt.shrink !projected num_base in
+        Some { node = n; leaves; care; values }
+      end
+    end
+end

@@ -1,0 +1,54 @@
+(* Top-down reconvergence-driven cut computation (paper §2.2.1, after
+   Mishchenko's construction): starting from the root, the leaf whose
+   expansion adds the fewest new leaves is expanded repeatedly while the
+   leaf count stays within the limit.  Reconvergent paths make expansions
+   with zero or negative cost possible, which is what gives resubstitution
+   its divisors. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  (* Cost of replacing leaf [l] by its fanins: number of fanins that are not
+     yet part of the cut, minus one (for [l] itself leaving). *)
+  let expansion_cost (t : N.t) visited_id l =
+    let fresh = ref 0 in
+    N.foreach_fanin t l (fun s ->
+        let c = N.node_of_signal s in
+        if N.visited t c <> visited_id then incr fresh);
+    !fresh - 1
+
+  (* Compute a reconvergence-driven cut of at most [max_leaves] leaves for
+     [root].  Returns the leaves; constants never appear as leaves. *)
+  let compute (t : N.t) ?(max_leaves = 8) (root : N.node) : N.node list =
+    let id = N.new_traversal_id t in
+    N.set_visited t root id;
+    let leaves = ref [] in
+    let add_leaf c =
+      if N.visited t c <> id then begin
+        N.set_visited t c id;
+        if not (N.is_constant t c) then leaves := c :: !leaves
+      end
+    in
+    N.foreach_fanin t root (fun s -> add_leaf (N.node_of_signal s));
+    let continue_expansion = ref true in
+    while !continue_expansion do
+      (* pick the expandable gate leaf with minimum cost *)
+      let best = ref None in
+      List.iter
+        (fun l ->
+          if N.is_gate t l then begin
+            let c = expansion_cost t id l in
+            match !best with
+            | Some (_, bc) when bc <= c -> ()
+            | Some _ | None -> best := Some (l, c)
+          end)
+        !leaves;
+      match !best with
+      | None -> continue_expansion := false
+      | Some (l, c) ->
+        if List.length !leaves + c > max_leaves then continue_expansion := false
+        else begin
+          leaves := List.filter (fun x -> x <> l) !leaves;
+          N.foreach_fanin t l (fun s -> add_leaf (N.node_of_signal s))
+        end
+    done;
+    List.rev !leaves
+end

@@ -1,0 +1,92 @@
+(* Bit-parallel network simulation (paper §2.2.2: exhaustive simulation as
+   the workhorse of peephole optimization).  Every node value is a truth
+   table over the same variable count; with random input patterns this
+   doubles as a fast necessary check for equivalence. *)
+
+open Kitty
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module T = Topo.Make (N)
+
+  (* Value of a gate from its fanin values (edge complements applied here). *)
+  let gate_value (t : N.t) n (value_of : N.node -> Tt.t) : Tt.t =
+    let args =
+      Array.map
+        (fun s ->
+          let v = value_of (N.node_of_signal s) in
+          if N.is_complemented s then Tt.( ~: ) v else v)
+        (N.fanin t n)
+    in
+    match N.gate_kind t n with
+    | Network.Kind.And -> Array.fold_left Tt.( &: ) args.(0) (Array.sub args 1 (Array.length args - 1))
+    | Network.Kind.Xor -> Array.fold_left Tt.( ^: ) args.(0) (Array.sub args 1 (Array.length args - 1))
+    | Network.Kind.Maj -> Tt.maj args.(0) args.(1) args.(2)
+    | Network.Kind.Lut tt -> Tt.apply tt args
+    | Network.Kind.Const | Network.Kind.Pi ->
+      invalid_arg "Simulate.gate_value: not a gate"
+
+  (* Simulate the whole network under the given PI values; returns the value
+     of every node (indexed by node id). *)
+  let simulate (t : N.t) (pi_values : Tt.t array) : Tt.t array =
+    assert (Array.length pi_values = N.num_pis t);
+    let m = if Array.length pi_values = 0 then 0 else Tt.num_vars pi_values.(0) in
+    let values = Array.make (N.size t) (Tt.const0 m) in
+    Array.iteri (fun i n -> values.(n) <- pi_values.(i)) (N.pis t);
+    List.iter
+      (fun n -> values.(n) <- gate_value t n (fun c -> values.(c)))
+      (T.order t);
+    values
+
+  let output_values (t : N.t) (values : Tt.t array) : Tt.t array =
+    Array.map
+      (fun s ->
+        let v = values.(N.node_of_signal s) in
+        if N.is_complemented s then Tt.( ~: ) v else v)
+      (N.pos t)
+
+  (* Exhaustive simulation: PI i is variable i; only valid for networks with
+     at most [Tt.max_vars] primary inputs. *)
+  let simulate_exhaustive (t : N.t) : Tt.t array =
+    let n = N.num_pis t in
+    simulate t (Array.init n (fun i -> Tt.nth_var n i))
+
+  (* Functions computed by the primary outputs, over the PI variables. *)
+  let output_functions (t : N.t) : Tt.t array =
+    output_values t (simulate_exhaustive t)
+
+  (* Random simulation with [num_vars]-variable tables (2^num_vars patterns
+     per PI). *)
+  let random_values ~num_vars ~seed (t : N.t) : Tt.t array =
+    let rng = Random.State.make [| seed |] in
+    let random_tt () =
+      let tt = Tt.create num_vars in
+      for m = 0 to (1 lsl num_vars) - 1 do
+        if Random.State.bool rng then Tt.set_bit tt m
+      done;
+      tt
+    in
+    Array.init (N.num_pis t) (fun _ -> random_tt ())
+end
+
+(* Random-simulation equivalence check across two networks (a fast
+   necessary condition; the SAT-based [Cec] is the sufficient one). *)
+module Cross (A : Network.Intf.NETWORK) (B : Network.Intf.NETWORK) = struct
+  module Sa = Make (A)
+  module Sb = Make (B)
+
+  let probably_equivalent ?(num_vars = 10) ?(rounds = 4) (a : A.t) (b : B.t) : bool =
+    A.num_pis a = B.num_pis b
+    && A.num_pos a = B.num_pos b
+    &&
+    let ok = ref true in
+    for round = 0 to rounds - 1 do
+      if !ok then begin
+        let pa = Sa.random_values ~num_vars ~seed:(97 * (round + 1)) a in
+        let pb = Array.map (fun tt -> tt) pa in
+        let oa = Sa.output_values a (Sa.simulate a pa) in
+        let ob = Sb.output_values b (Sb.simulate b pb) in
+        if not (Array.for_all2 Tt.equal oa ob) then ok := false
+      end
+    done;
+    !ok
+end

@@ -1,0 +1,57 @@
+(* Topological traversal.  Node creation order is topological until the
+   first [substitute_node]; algorithms that restructure the graph therefore
+   traverse via an explicit DFS from the primary outputs. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  (* Gates reachable from the primary outputs, fanins first. *)
+  let order (t : N.t) : N.node list =
+    let id = N.new_traversal_id t in
+    let acc = ref [] in
+    let rec visit n =
+      if N.visited t n <> id then begin
+        N.set_visited t n id;
+        if N.is_gate t n then begin
+          Array.iter (fun s -> visit (N.node_of_signal s)) (N.fanin t n);
+          acc := n :: !acc
+        end
+      end
+    in
+    N.foreach_po t (fun s -> visit (N.node_of_signal s));
+    List.rev !acc
+
+  (* All live gates (including dangling ones), fanins first. *)
+  let order_all (t : N.t) : N.node list =
+    let id = N.new_traversal_id t in
+    let acc = ref [] in
+    let rec visit n =
+      if N.visited t n <> id then begin
+        N.set_visited t n id;
+        if N.is_gate t n then begin
+          Array.iter (fun s -> visit (N.node_of_signal s)) (N.fanin t n);
+          acc := n :: !acc
+        end
+      end
+    in
+    N.foreach_gate t visit;
+    List.rev !acc
+
+  (* Does the structural cone of [root], cut off at [leaves], contain [n]?
+     Used to guard substitutions against cycles when structural hashing
+     resolves a freshly built candidate to existing nodes.  The cone is
+     bounded by the candidate structure, so this stays cheap. *)
+  let cone_contains (t : N.t) ~(root : N.node) ~(leaves : N.node array)
+      (n : N.node) : bool =
+    let stop = Hashtbl.create 8 in
+    Array.iter (fun l -> Hashtbl.replace stop l ()) leaves;
+    let seen = Hashtbl.create 16 in
+    let rec go m =
+      m = n
+      || (not (Hashtbl.mem stop m))
+         && (not (Hashtbl.mem seen m))
+         && N.is_gate t m
+         &&
+         (Hashtbl.replace seen m ();
+          Array.exists (fun s -> go (N.node_of_signal s)) (N.fanin t m))
+    in
+    go root
+end

@@ -1,0 +1,1 @@
+lib/exact/chain.ml: Array Format Kitty String Tt

@@ -1,0 +1,1 @@
+lib/exact/chain.mli: Format Kitty

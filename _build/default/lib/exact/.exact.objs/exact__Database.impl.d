@@ -1,0 +1,1 @@
+lib/exact/database.ml: Format Hashtbl Kitty Npn Synth Tt

@@ -1,0 +1,1 @@
+lib/exact/decode.ml: Array Build Chain Database Intf Kind Kitty List Network Npn Option Synth Tt

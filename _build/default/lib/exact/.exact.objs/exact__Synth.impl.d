@@ -1,0 +1,1 @@
+lib/exact/synth.ml: Array Chain Kitty List Network Satkit Tt

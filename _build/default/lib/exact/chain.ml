@@ -1,0 +1,54 @@
+(* Boolean chains: the result representation of exact synthesis.
+
+   A chain over [num_inputs] primary inputs is a sequence of steps; step [i]
+   computes a k-ary Boolean operator [op] over earlier signals.  Signal
+   indices: [0] is constant false (only used by arity-3 synthesis), [1 ..
+   num_inputs] are the inputs, [num_inputs + 1 + i] is step [i].  The chain
+   output is the last step, complemented when [out_complement] (targets are
+   synthesized in normal form, i.e. f(0,...,0) = 0). *)
+
+open Kitty
+
+type step = {
+  fanins : int array;
+  op : Tt.t;  (* over [Array.length fanins] variables; normal *)
+}
+
+type t = {
+  num_inputs : int;
+  steps : step array;
+  out_complement : bool;
+}
+
+let size c = Array.length c.steps
+
+(* Simulate the chain, returning its function over [num_inputs] variables. *)
+let simulate c =
+  let n = c.num_inputs in
+  let values = Array.make (1 + n + Array.length c.steps) (Tt.const0 n) in
+  for i = 0 to n - 1 do
+    values.(1 + i) <- Tt.nth_var n i
+  done;
+  Array.iteri
+    (fun i step ->
+      let args = Array.map (fun j -> values.(j)) step.fanins in
+      values.(1 + n + i) <- Tt.apply step.op args)
+    c.steps;
+  let out =
+    if Array.length c.steps = 0 then values.(0) (* degenerate *)
+    else values.(n + Array.length c.steps)
+  in
+  if c.out_complement then Tt.( ~: ) out else out
+
+let pp fmt c =
+  Format.fprintf fmt "chain(%d inputs):@." c.num_inputs;
+  Array.iteri
+    (fun i s ->
+      Format.fprintf fmt "  t%d = %s(%s)@."
+        (c.num_inputs + 1 + i)
+        (Tt.to_hex s.op)
+        (String.concat ", " (Array.to_list (Array.map string_of_int s.fanins))))
+    c.steps;
+  Format.fprintf fmt "  out = %st%d@."
+    (if c.out_complement then "!" else "")
+    (c.num_inputs + Array.length c.steps)

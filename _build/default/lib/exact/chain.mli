@@ -1,0 +1,26 @@
+(** Boolean chains: the result representation of exact synthesis.
+
+    A chain over [num_inputs] inputs is a sequence of steps; step [i]
+    computes a k-ary normal Boolean operator over earlier signals.  Signal
+    indices: [0] is constant false, [1 .. num_inputs] are the inputs,
+    [num_inputs + 1 + i] is step [i].  The chain output is the last step,
+    complemented when [out_complement]. *)
+
+type step = {
+  fanins : int array;
+  op : Kitty.Tt.t;  (** over [Array.length fanins] variables; normal *)
+}
+
+type t = {
+  num_inputs : int;
+  steps : step array;
+  out_complement : bool;
+}
+
+val size : t -> int
+(** Number of steps (gates). *)
+
+val simulate : t -> Kitty.Tt.t
+(** The function the chain computes, over [num_inputs] variables. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(* NPN-keyed database of optimal chains.
+
+   Rewriting asks for the optimum implementation of millions of cut
+   functions, but only a few hundred NPN classes occur (222 classes for all
+   4-variable functions).  Each class is synthesized at most once per
+   process; the result — or the fact that synthesis gave up — is cached
+   under the canonical truth table.  This realizes option (ii) of paper
+   §2.3.2, exact synthesis on the fly, with the cache standing in for
+   mockturtle's precomputed database. *)
+
+open Kitty
+
+type t = {
+  config : Synth.config;
+  cache : (string, Synth.result) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable failures : int;
+}
+
+let create config = { config; cache = Hashtbl.create 512; hits = 0; misses = 0; failures = 0 }
+
+(* Result for the *canonical* representative of [f]'s NPN class, plus the
+   transform mapping [f] to that representative. *)
+let lookup db f =
+  let canonical, tr = Npn.canonize f in
+  let key = Tt.to_hex canonical in
+  let entry =
+    match Hashtbl.find_opt db.cache key with
+    | Some e ->
+      db.hits <- db.hits + 1;
+      e
+    | None ->
+      db.misses <- db.misses + 1;
+      let e = Synth.synthesize db.config canonical in
+      if e = Synth.Failed then db.failures <- db.failures + 1;
+      Hashtbl.replace db.cache key e;
+      e
+  in
+  (entry, tr)
+
+let stats db = (db.hits, db.misses, db.failures)
+
+let pp_stats fmt db =
+  Format.fprintf fmt "db: %d classes cached, %d hits, %d failures"
+    (Hashtbl.length db.cache) db.hits db.failures

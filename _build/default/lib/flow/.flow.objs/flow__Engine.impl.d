@@ -1,0 +1,1 @@
+lib/flow/engine.ml: Algo Exact List Network Script

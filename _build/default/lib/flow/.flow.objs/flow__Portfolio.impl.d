@@ -1,0 +1,1 @@
+lib/flow/portfolio.ml: Aig Algo Convert Engine List Mig Network Script Unix Xag

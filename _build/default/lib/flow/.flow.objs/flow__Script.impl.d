@@ -1,0 +1,1 @@
+lib/flow/script.ml: List Printf String

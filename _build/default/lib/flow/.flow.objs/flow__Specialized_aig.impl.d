@@ -1,0 +1,1 @@
+lib/flow/specialized_aig.ml: Aig Algo Convert Engine List Network Script

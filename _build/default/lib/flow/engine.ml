@@ -1,0 +1,79 @@
+(* The flow engine: interprets optimization scripts against any network
+   representation.  An [env] bundles the two representation-specific
+   choices — the exact-synthesis database feeding rewriting and the
+   resubstitution kernel — which is precisely the paper's layer-4
+   specialization surface; everything else is shared. *)
+
+type env = {
+  db : Exact.Database.t;
+  kernel : Algo.Resub.kernel;
+  max_refactor_inputs : int;
+}
+
+(* Per-representation presets. *)
+let aig_env () =
+  {
+    db = Exact.Database.create Exact.Synth.aig_config;
+    kernel = Algo.Resub.And_or;
+    max_refactor_inputs = 10;
+  }
+
+let xag_env () =
+  {
+    db = Exact.Database.create Exact.Synth.xag_config;
+    kernel = Algo.Resub.And_or_xor;
+    max_refactor_inputs = 10;
+  }
+
+let mig_env () =
+  {
+    db = Exact.Database.create Exact.Synth.mig_config;
+    kernel = Algo.Resub.Maj3;
+    max_refactor_inputs = 10;
+  }
+
+let xmg_env () =
+  {
+    db = Exact.Database.create Exact.Synth.xmg_config;
+    kernel = Algo.Resub.Maj3;
+    max_refactor_inputs = 10;
+  }
+
+type stats = {
+  nodes : int;
+  levels : int;
+}
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module Bal = Algo.Balance.Make (N)
+  module Rw = Algo.Rewrite.Make (N)
+  module Rf = Algo.Refactor.Make (N)
+  module Rs = Algo.Resub.Make (N)
+  module Dp = Algo.Depth.Make (N)
+  module Cl = Network.Convert.Cleanup (N)
+  module Fr = Algo.Fraig.Make (N)
+
+  let network_stats (net : N.t) : stats =
+    { nodes = N.num_gates net; levels = Dp.depth net }
+
+  let run_command (env : env) (net : N.t) (cmd : Script.command) : unit =
+    match cmd with
+    | Script.Balance -> ignore (Bal.run net)
+    | Script.Rewrite { zero_gain } ->
+      ignore (Rw.run net ~db:env.db ~allow_zero_gain:zero_gain ())
+    | Script.Refactor { zero_gain } ->
+      ignore
+        (Rf.run net ~max_inputs:env.max_refactor_inputs
+           ~allow_zero_gain:zero_gain ())
+    | Script.Resub { cut_size; max_inserted } ->
+      ignore (Rs.run net ~kernel:env.kernel ~max_leaves:cut_size ~max_inserted ())
+    | Script.Fraig -> ignore (Fr.run net ())
+
+  (* Run a script in place; returns a cleaned-up copy (dangling nodes
+     swept). *)
+  let run_script (env : env) (net : N.t) (script : string) : N.t =
+    List.iter (run_command env net) (Script.parse script);
+    Cl.cleanup net
+
+  let compress2rs env net = run_script env net Script.compress2rs
+end

@@ -1,0 +1,100 @@
+(* The portfolio approach advocated in the paper's §3: run the same generic
+   flow with every representation, map each result into 6-LUTs, and keep
+   the best.  Also the driver behind Table 2's per-representation
+   columns. *)
+
+open Network
+
+type entry = {
+  representation : string;
+  nodes : int;      (* gates after optimization *)
+  levels : int;     (* depth after optimization *)
+  luts : int;       (* 6-LUTs after mapping *)
+  lut_levels : int;
+  time : float;     (* optimization + mapping seconds *)
+}
+
+type result = {
+  entries : entry list;
+  best : entry;  (* fewest LUTs *)
+}
+
+module Lut_aig = Algo.Lutmap.Make (Aig)
+module Lut_mig = Algo.Lutmap.Make (Mig)
+module Lut_xag = Algo.Lutmap.Make (Xag)
+
+module Flow_aig = Engine.Make (Aig)
+module Flow_mig = Engine.Make (Mig)
+module Flow_xag = Engine.Make (Xag)
+
+module To_mig = Convert.Make (Aig) (Mig)
+module To_xag = Convert.Make (Aig) (Xag)
+module Copy_aig = Convert.Make (Aig) (Aig)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Run the given script on all three representations of [baseline].  Pass
+   [envs] to reuse exact-synthesis databases across benchmarks (they are
+   keyed by NPN class, so they warm up once per process). *)
+let run ?(script = Script.compress2rs) ?(k = 6) ?envs (baseline : Aig.t) :
+    result =
+  let env_aig, env_mig, env_xag =
+    match envs with
+    | Some (a, m, x) -> (a, m, x)
+    | None -> (Engine.aig_env (), Engine.mig_env (), Engine.xag_env ())
+  in
+  let aig_entry =
+    let net = Copy_aig.convert baseline in
+    let env = env_aig in
+    let opt, t_opt = time_it (fun () -> Flow_aig.run_script env net script) in
+    let m, t_map = time_it (fun () -> Lut_aig.map opt ~k ()) in
+    let s = Flow_aig.network_stats opt in
+    {
+      representation = "aig";
+      nodes = s.Engine.nodes;
+      levels = s.Engine.levels;
+      luts = m.Lut_aig.lut_count;
+      lut_levels = m.Lut_aig.depth;
+      time = t_opt +. t_map;
+    }
+  in
+  let mig_entry =
+    let net = To_mig.convert baseline in
+    let env = env_mig in
+    let opt, t_opt = time_it (fun () -> Flow_mig.run_script env net script) in
+    let m, t_map = time_it (fun () -> Lut_mig.map opt ~k ()) in
+    let s = Flow_mig.network_stats opt in
+    {
+      representation = "mig";
+      nodes = s.Engine.nodes;
+      levels = s.Engine.levels;
+      luts = m.Lut_mig.lut_count;
+      lut_levels = m.Lut_mig.depth;
+      time = t_opt +. t_map;
+    }
+  in
+  let xag_entry =
+    let net = To_xag.convert baseline in
+    let env = env_xag in
+    let opt, t_opt = time_it (fun () -> Flow_xag.run_script env net script) in
+    let m, t_map = time_it (fun () -> Lut_xag.map opt ~k ()) in
+    let s = Flow_xag.network_stats opt in
+    {
+      representation = "xag";
+      nodes = s.Engine.nodes;
+      levels = s.Engine.levels;
+      luts = m.Lut_xag.lut_count;
+      lut_levels = m.Lut_xag.depth;
+      time = t_opt +. t_map;
+    }
+  in
+  let entries = [ aig_entry; mig_entry; xag_entry ] in
+  let best =
+    List.fold_left
+      (fun acc e -> if e.luts < acc.luts then e else acc)
+      aig_entry entries
+  in
+  { entries; best }

@@ -1,0 +1,22 @@
+(* The layer-4 specialized AIG flow: identical to the generic engine except
+   that rewriting steps run through [Algo.Rewrite_aig], the AIG-tuned
+   implementation with packed integer truth tables.  This is the
+   reproduction's stand-in for ABC in Table 1: comparing this flow against
+   the fully generic functor instantiation measures the overhead of
+   genericity within a single code base (see DESIGN.md, substitutions). *)
+
+open Network
+
+module F = Engine.Make (Aig)
+module Cl = Convert.Cleanup (Aig)
+
+let run_command (env : Engine.env) (net : Aig.t) (cmd : Script.command) : unit =
+  match cmd with
+  | Script.Rewrite { zero_gain } ->
+    ignore (Algo.Rewrite_aig.run net ~db:env.Engine.db ~allow_zero_gain:zero_gain ())
+  | Script.Balance | Script.Refactor _ | Script.Resub _ | Script.Fraig ->
+    F.run_command env net cmd
+
+let run_script (env : Engine.env) (net : Aig.t) (script : string) : Aig.t =
+  List.iter (run_command env net) (Script.parse script);
+  Cl.cleanup net

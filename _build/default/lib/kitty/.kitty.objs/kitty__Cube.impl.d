@@ -1,0 +1,1 @@
+lib/kitty/cube.ml: Format List Stdlib Tt

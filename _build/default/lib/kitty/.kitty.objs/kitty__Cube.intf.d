@@ -1,0 +1,1 @@
+lib/kitty/cube.mli: Format Tt

@@ -1,0 +1,1 @@
+lib/kitty/factor.ml: Cube Format Hashtbl Isop List Option Tt

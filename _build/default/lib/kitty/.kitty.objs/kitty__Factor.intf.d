@@ -1,0 +1,1 @@
+lib/kitty/factor.mli: Cube Format Tt

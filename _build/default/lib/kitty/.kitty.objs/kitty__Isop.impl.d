@@ -1,0 +1,1 @@
+lib/kitty/isop.ml: Cube List Tt

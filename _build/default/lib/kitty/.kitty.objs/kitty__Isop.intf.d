@@ -1,0 +1,1 @@
+lib/kitty/isop.mli: Cube Tt

@@ -1,0 +1,1 @@
+lib/kitty/npn.ml: Array Int64 List Tt

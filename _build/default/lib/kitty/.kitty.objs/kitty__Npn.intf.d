@@ -1,0 +1,1 @@
+lib/kitty/npn.mli: Tt

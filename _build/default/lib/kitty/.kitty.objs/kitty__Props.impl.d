@@ -1,0 +1,1 @@
+lib/kitty/props.ml: List Tt

@@ -1,0 +1,1 @@
+lib/kitty/tt.ml: Array Buffer Char Format Hashtbl Int64 Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/kitty/tt.mli: Format

@@ -1,0 +1,40 @@
+(** Cubes (product terms) over up to 20 variables.
+
+    [mask] has bit [i] set when variable [i] appears in the cube; [bits]
+    gives its polarity where present.  The constant-true cube is
+    [{ bits = 0; mask = 0 }]. *)
+
+type t = {
+  bits : int;
+  mask : int;
+}
+
+val one : t
+(** The empty product (constant true). *)
+
+val of_literal : int -> bool -> t
+(** [of_literal var polarity]: a single-literal cube. *)
+
+val num_literals : t -> int
+val has_literal : t -> int -> bool
+
+val polarity : t -> int -> bool
+(** Polarity of a variable; only valid when [has_literal]. *)
+
+val add_literal : t -> int -> bool -> t
+val remove_literal : t -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val literals : t -> (int * bool) list
+(** [(variable, polarity)] pairs, ascending by variable. *)
+
+val to_tt : int -> t -> Tt.t
+(** Truth table of the cube over [n] variables. *)
+
+val sop_to_tt : int -> t list -> Tt.t
+(** Truth table of a sum (OR) of cubes. *)
+
+val sop_literal_count : t list -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Algebraic factoring of sum-of-products covers (quick-factor style,
+    after Rajski–Vasudevamurthy).  Refactoring builds the resulting
+    expression in the target network with the network's own gate
+    constructors. *)
+
+type expr =
+  | Const of bool
+  | Lit of int * bool  (** variable index, complemented? *)
+  | And of expr list
+  | Or of expr list
+
+val literal_count : expr -> int
+(** Number of literal occurrences — the classic factored-form cost. *)
+
+val expr_of_cube : Cube.t -> expr
+
+val factor_cubes : Cube.t list -> expr
+(** Factor a cover by recursive division: first by the common cube, then by
+    the most frequent literal. *)
+
+val of_tt : Tt.t -> expr
+(** Factored form of a truth table (via its ISOP). *)
+
+val to_tt : int -> expr -> Tt.t
+(** Evaluate an expression over [n] variables (used to check soundness). *)
+
+val pp : Format.formatter -> expr -> unit

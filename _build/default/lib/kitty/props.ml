@@ -1,0 +1,73 @@
+(* Boolean function properties: unateness, symmetry, decomposability and
+   the Boolean difference.  These are the analyses behind divisor filtering
+   and decomposition-based resynthesis. *)
+
+type unateness = Positive | Negative | Binate
+
+(* Unateness of [f] in variable [i]. *)
+let unateness_in f i =
+  let c0 = Tt.cofactor0 f i and c1 = Tt.cofactor1 f i in
+  let pos = Tt.is_const0 Tt.(c0 &: ~:c1) in
+  let neg = Tt.is_const0 Tt.(c1 &: ~:c0) in
+  match (pos, neg) with
+  | true, true -> Positive (* independent of i; report positive *)
+  | true, false -> Positive
+  | false, true -> Negative
+  | false, false -> Binate
+
+let is_unate f =
+  List.for_all (fun i -> unateness_in f i <> Binate) (Tt.support f)
+
+(* Boolean difference df/dx_i: the minterms where flipping x_i flips f. *)
+let boolean_difference f i = Tt.( ^: ) (Tt.cofactor0 f i) (Tt.cofactor1 f i)
+
+(* Are variables [i] and [j] symmetric in [f] (f invariant under swap)? *)
+let symmetric_in f i j = Tt.equal f (Tt.swap_vars f i j)
+
+(* Partition the support into maximal classes of pairwise-symmetric
+   variables. *)
+let symmetry_classes f =
+  let support = Tt.support f in
+  let rec place v = function
+    | [] -> [ [ v ] ]
+    | cls :: rest ->
+      (match cls with
+      | rep :: _ when symmetric_in f v rep -> (v :: cls) :: rest
+      | _ -> cls :: place v rest)
+  in
+  List.fold_left (fun classes v -> place v classes) [] support
+  |> List.map List.rev
+
+(* Is [f] totally symmetric (a function of the weight of its inputs only)? *)
+let is_totally_symmetric f =
+  match symmetry_classes f with
+  | [] | [ _ ] -> true
+  | _ :: _ :: _ -> false
+
+(* Top decomposition: can [f] be written as  x_i op g  where g does not
+   depend on x_i?  Returns the operator when it exists. *)
+type top_decomposition = And_ | Or_ | Xor_ | Lt_ (* !x & g *) | Le_ (* !x | g *)
+
+let top_decompositions f i =
+  let c0 = Tt.cofactor0 f i and c1 = Tt.cofactor1 f i in
+  let out = ref [] in
+  (* f = x & g   iff f|x=0 = 0 *)
+  if Tt.is_const0 c0 then out := (And_, c1) :: !out;
+  (* f = x | g   iff f|x=1 = 1 *)
+  if Tt.is_const1 c1 then out := (Or_, c0) :: !out;
+  (* f = !x & g  iff f|x=1 = 0 *)
+  if Tt.is_const0 c1 then out := (Lt_, c0) :: !out;
+  (* f = !x | g  iff f|x=0 = 1 *)
+  if Tt.is_const1 c0 then out := (Le_, c1) :: !out;
+  (* f = x ^ g   iff f|x=0 = !(f|x=1) *)
+  if Tt.equal c0 (Tt.( ~: ) c1) then out := (Xor_, c0) :: !out;
+  List.rev !out
+
+(* Minterm count as a fraction — useful as a quick signature. *)
+let density f = float_of_int (Tt.count_ones f) /. float_of_int (Tt.num_bits f)
+
+(* Is [f] a canalizing function in x_i (some input value forces the
+   output)? *)
+let is_canalizing_in f i =
+  let c0 = Tt.cofactor0 f i and c1 = Tt.cofactor1 f i in
+  Tt.is_const0 c0 || Tt.is_const1 c0 || Tt.is_const0 c1 || Tt.is_const1 c1

@@ -1,0 +1,330 @@
+(* Bit-parallel truth tables.
+
+   A truth table over [num_vars] variables stores one bit per minterm in an
+   array of 64-bit words.  Minterm [m] (an assignment where bit [i] of [m] is
+   the value of variable [i]) lives in word [m / 64] at bit [m mod 64].  For
+   [num_vars < 6] the single word keeps its unused high bits at zero; every
+   operation re-normalizes so that structural equality coincides with
+   functional equality. *)
+
+type t = {
+  num_vars : int;
+  bits : int64 array;
+}
+
+let max_vars = 20
+
+(* Number of 64-bit words used by an [n]-variable table. *)
+let word_count n = if n <= 6 then 1 else 1 lsl (n - 6)
+
+(* Mask selecting the meaningful bits of the (single) word when [n <= 6]. *)
+let word_mask n =
+  if n >= 6 then -1L
+  else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+
+let num_vars tt = tt.num_vars
+let num_bits tt = 1 lsl tt.num_vars
+
+let create n =
+  if n < 0 || n > max_vars then
+    invalid_arg (Printf.sprintf "Tt.create: num_vars %d out of [0,%d]" n max_vars);
+  { num_vars = n; bits = Array.make (word_count n) 0L }
+
+let const0 n = create n
+
+let const1 n =
+  let tt = create n in
+  Array.fill tt.bits 0 (Array.length tt.bits) (word_mask n);
+  tt
+
+(* Projection word patterns for variables 0..5. *)
+let projections =
+  [| 0xAAAAAAAAAAAAAAAAL; 0xCCCCCCCCCCCCCCCCL; 0xF0F0F0F0F0F0F0F0L;
+     0xFF00FF00FF00FF00L; 0xFFFF0000FFFF0000L; 0xFFFFFFFF00000000L |]
+
+let nth_var n i =
+  if i < 0 || i >= n then invalid_arg "Tt.nth_var: variable index out of range";
+  let tt = create n in
+  if i < 6 then begin
+    let p = Int64.logand projections.(i) (word_mask n) in
+    Array.fill tt.bits 0 (Array.length tt.bits) p;
+    (* Words whose index has bit [i-6] unset must stay 0 — not applicable
+       here since i < 6 affects all words uniformly. *)
+    tt
+  end else begin
+    for w = 0 to Array.length tt.bits - 1 do
+      if (w lsr (i - 6)) land 1 = 1 then tt.bits.(w) <- -1L
+    done;
+    tt
+  end
+
+let copy tt = { tt with bits = Array.copy tt.bits }
+
+let get_bit tt m =
+  let w = m lsr 6 and b = m land 63 in
+  Int64.to_int (Int64.logand (Int64.shift_right_logical tt.bits.(w) b) 1L)
+
+let set_bit tt m =
+  let w = m lsr 6 and b = m land 63 in
+  tt.bits.(w) <- Int64.logor tt.bits.(w) (Int64.shift_left 1L b)
+
+let clear_bit tt m =
+  let w = m lsr 6 and b = m land 63 in
+  tt.bits.(w) <- Int64.logand tt.bits.(w) (Int64.lognot (Int64.shift_left 1L b))
+
+let equal a b =
+  a.num_vars = b.num_vars && a.bits = b.bits
+
+let compare a b =
+  let c = Stdlib.compare a.num_vars b.num_vars in
+  if c <> 0 then c else Stdlib.compare a.bits b.bits
+
+let hash tt = Hashtbl.hash (tt.num_vars, tt.bits)
+
+let is_const0 tt = Array.for_all (fun w -> w = 0L) tt.bits
+
+let is_const1 tt =
+  let m = word_mask tt.num_vars in
+  Array.for_all (fun w -> w = m) tt.bits
+
+let map2 f a b =
+  if a.num_vars <> b.num_vars then invalid_arg "Tt: num_vars mismatch";
+  { num_vars = a.num_vars; bits = Array.map2 f a.bits b.bits }
+
+let ( &: ) a b = map2 Int64.logand a b
+let ( |: ) a b = map2 Int64.logor a b
+let ( ^: ) a b = map2 Int64.logxor a b
+
+let ( ~: ) a =
+  let m = word_mask a.num_vars in
+  { a with bits = Array.map (fun w -> Int64.logand (Int64.lognot w) m) a.bits }
+
+let xnor a b = ~:(a ^: b)
+let nand a b = ~:(a &: b)
+let nor a b = ~:(a |: b)
+
+(* if-then-else / multiplexer: [i] selects [t] (when 1) or [e] (when 0). *)
+let ite i t e = (i &: t) |: (~:i &: e)
+
+let maj a b c = (a &: b) |: (a &: c) |: (b &: c)
+
+let count_ones tt =
+  let popcount64 x =
+    let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
+    let x = Int64.add (Int64.logand x 0x3333333333333333L)
+              (Int64.logand (Int64.shift_right_logical x 2) 0x3333333333333333L) in
+    let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+    Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
+  in
+  Array.fold_left (fun acc w -> acc + popcount64 w) 0 tt.bits
+
+(* Positive cofactor w.r.t. variable [i]: the result no longer depends on
+   [i] but keeps the same number of variables. *)
+let cofactor1 tt i =
+  let r = copy tt in
+  if i < 6 then begin
+    let p = projections.(i) and s = 1 lsl i in
+    for w = 0 to Array.length r.bits - 1 do
+      let hi = Int64.logand r.bits.(w) p in
+      r.bits.(w) <- Int64.logor hi (Int64.shift_right_logical hi s)
+    done
+  end else begin
+    let d = 1 lsl (i - 6) in
+    for w = 0 to Array.length r.bits - 1 do
+      if (w lsr (i - 6)) land 1 = 0 then r.bits.(w) <- r.bits.(w lor d)
+    done
+  end;
+  r
+
+let cofactor0 tt i =
+  let r = copy tt in
+  if i < 6 then begin
+    let p = projections.(i) and s = 1 lsl i in
+    for w = 0 to Array.length r.bits - 1 do
+      let lo = Int64.logand r.bits.(w) (Int64.lognot p) in
+      r.bits.(w) <- Int64.logor lo (Int64.shift_left lo s)
+    done
+  end else begin
+    let d = 1 lsl (i - 6) in
+    for w = 0 to Array.length r.bits - 1 do
+      if (w lsr (i - 6)) land 1 = 1 then r.bits.(w) <- r.bits.(w lxor d)
+    done
+  end;
+  r
+
+let has_var tt i = not (equal (cofactor0 tt i) (cofactor1 tt i))
+
+(* List of variables the function actually depends on, ascending. *)
+let support tt =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if has_var tt i then i :: acc else acc)
+  in
+  go (tt.num_vars - 1) []
+
+let exists tt i = cofactor0 tt i |: cofactor1 tt i
+let forall tt i = cofactor0 tt i &: cofactor1 tt i
+
+(* Complement variable [i] in the function: f'(.., x_i, ..) = f(.., !x_i, ..). *)
+let flip tt i =
+  let r = copy tt in
+  if i < 6 then begin
+    let p = projections.(i) and s = 1 lsl i in
+    for w = 0 to Array.length r.bits - 1 do
+      let x = r.bits.(w) in
+      r.bits.(w) <-
+        Int64.logor
+          (Int64.shift_right_logical (Int64.logand x p) s)
+          (Int64.logand (Int64.shift_left x s) p)
+    done
+  end else begin
+    let d = 1 lsl (i - 6) in
+    for w = 0 to Array.length r.bits - 1 do
+      if (w lsr (i - 6)) land 1 = 0 then begin
+        let tmp = r.bits.(w) in
+        r.bits.(w) <- r.bits.(w lor d);
+        r.bits.(w lor d) <- tmp
+      end
+    done
+  end;
+  r
+
+(* Swap variables [i] and [j]. *)
+let swap_vars tt i j =
+  if i = j then copy tt
+  else begin
+    let i, j = if i < j then (i, j) else (j, i) in
+    let n = tt.num_vars in
+    let r = create n in
+    for m = 0 to (1 lsl n) - 1 do
+      if get_bit tt m = 1 then begin
+        let bi = (m lsr i) land 1 and bj = (m lsr j) land 1 in
+        let m' = m land lnot ((1 lsl i) lor (1 lsl j))
+                 lor (bj lsl i) lor (bi lsl j) in
+        set_bit r m'
+      end
+    done;
+    r
+  end
+
+(* Apply variable permutation [perm]: result g with
+   g(x_0,...,x_{n-1}) = f(x_{perm.(0)}, ..., x_{perm.(n-1)}).
+   Equivalently minterm m of f maps to the minterm of g where the bit that
+   was at position perm.(i) moves to position i. *)
+let permute tt perm =
+  let n = tt.num_vars in
+  if Array.length perm <> n then invalid_arg "Tt.permute: bad permutation size";
+  let r = create n in
+  for m = 0 to (1 lsl n) - 1 do
+    (* f-minterm m corresponds to the g-minterm where the value of f's
+       variable i appears at position perm.(i). *)
+    let m' = ref 0 in
+    for i = 0 to n - 1 do
+      if (m lsr i) land 1 = 1 then m' := !m' lor (1 lsl perm.(i))
+    done;
+    if get_bit tt m = 1 then set_bit r !m'
+  done;
+  r
+
+(* Extend to [n] variables (new variables are don't-care / unused). *)
+let extend tt n =
+  if n < tt.num_vars then invalid_arg "Tt.extend: shrinking"
+  else if n = tt.num_vars then copy tt
+  else begin
+    let r = create n in
+    let src_bits = 1 lsl tt.num_vars in
+    for m = 0 to (1 lsl n) - 1 do
+      if get_bit tt (m land (src_bits - 1)) = 1 then set_bit r m
+    done;
+    r
+  end
+
+(* Shrink to [n] variables; variables >= n must not be in the support. *)
+let shrink tt n =
+  if n > tt.num_vars then invalid_arg "Tt.shrink: growing"
+  else begin
+    let r = create n in
+    for m = 0 to (1 lsl n) - 1 do
+      if get_bit tt m = 1 then set_bit r m
+    done;
+    r
+  end
+
+(* Compose: substitute functions for the variables of [f].
+   [apply f args] where [args.(i)] is the truth table (all over the same
+   variable count [m]) standing for variable [i] of [f]. *)
+let apply f args =
+  if Array.length args <> f.num_vars then invalid_arg "Tt.apply: arity mismatch";
+  if f.num_vars = 0 then
+    (if is_const1 f then const1 0 else const0 0)
+  else begin
+    let m = args.(0).num_vars in
+    let acc = ref (const0 m) in
+    for minterm = 0 to (1 lsl f.num_vars) - 1 do
+      if get_bit f minterm = 1 then begin
+        let cube = ref (const1 m) in
+        for i = 0 to f.num_vars - 1 do
+          let lit = if (minterm lsr i) land 1 = 1 then args.(i) else ~:(args.(i)) in
+          cube := !cube &: lit
+        done;
+        acc := !acc |: !cube
+      end
+    done;
+    !acc
+  end
+
+(* Hex string, most significant nibble first (kitty convention). *)
+let to_hex tt =
+  let nibbles = max 1 ((1 lsl tt.num_vars) / 4) in
+  let buf = Buffer.create nibbles in
+  for i = nibbles - 1 downto 0 do
+    if tt.num_vars < 2 then begin
+      (* fewer than 4 bits: print one nibble padded *)
+      let v = Int64.to_int (Int64.logand tt.bits.(0) (word_mask tt.num_vars)) in
+      Buffer.add_string buf (Printf.sprintf "%x" v)
+    end else begin
+      let w = (i * 4) lsr 6 and off = (i * 4) land 63 in
+      let v = Int64.to_int (Int64.logand (Int64.shift_right_logical tt.bits.(w) off) 0xFL) in
+      Buffer.add_char buf "0123456789abcdef".[v]
+    end
+  done;
+  Buffer.contents buf
+
+let of_hex n s =
+  let tt = create n in
+  let nibbles = max 1 ((1 lsl n) / 4) in
+  if String.length s <> nibbles then invalid_arg "Tt.of_hex: bad length";
+  String.iteri
+    (fun i c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Tt.of_hex: bad character"
+      in
+      let idx = nibbles - 1 - i in
+      for b = 0 to 3 do
+        let m = idx * 4 + b in
+        if (v lsr b) land 1 = 1 && m < 1 lsl n then set_bit tt m
+      done)
+    s;
+  tt
+
+let pp fmt tt = Format.fprintf fmt "0x%s" (to_hex tt)
+
+(* Binary string, minterm 2^n-1 first. *)
+let to_binary tt =
+  let n = 1 lsl tt.num_vars in
+  String.init n (fun i -> if get_bit tt (n - 1 - i) = 1 then '1' else '0')
+
+(* For tables of up to 6 variables: raw word access (low bits meaningful). *)
+let to_int64 tt =
+  if tt.num_vars > 6 then invalid_arg "Tt.to_int64: more than 6 variables";
+  tt.bits.(0)
+
+let of_int64 n w =
+  if n > 6 then invalid_arg "Tt.of_int64: more than 6 variables";
+  let tt = create n in
+  tt.bits.(0) <- Int64.logand w (word_mask n);
+  tt

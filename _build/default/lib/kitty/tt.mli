@@ -1,0 +1,137 @@
+(** Bit-parallel truth tables.
+
+    A truth table over [n] variables stores one bit per minterm in an array
+    of 64-bit words.  Minterm [m] — the assignment where bit [i] of [m] is
+    the value of variable [i] — lives in word [m / 64] at bit [m mod 64].
+    All operations re-normalize unused high bits, so structural equality
+    coincides with functional equality. *)
+
+type t
+
+val max_vars : int
+(** Largest supported variable count (20: one million minterms). *)
+
+val num_vars : t -> int
+(** Number of variables of the table. *)
+
+val num_bits : t -> int
+(** Number of minterms, [2 ^ num_vars]. *)
+
+(** {1 Construction} *)
+
+val create : int -> t
+(** [create n] is the constant-false table over [n] variables.
+    @raise Invalid_argument when [n] is outside [0, max_vars]. *)
+
+val const0 : int -> t
+(** Constant false over [n] variables. *)
+
+val const1 : int -> t
+(** Constant true over [n] variables. *)
+
+val nth_var : int -> int -> t
+(** [nth_var n i] is the projection of variable [i] over [n] variables.
+    @raise Invalid_argument when [i] is outside [0, n). *)
+
+val copy : t -> t
+
+val of_hex : int -> string -> t
+(** [of_hex n s] parses a hex string (most significant nibble first, kitty
+    convention).  @raise Invalid_argument on bad length or characters. *)
+
+val of_int64 : int -> int64 -> t
+(** [of_int64 n w] builds a table of up to 6 variables from the low bits of
+    [w]. *)
+
+(** {1 Bit access} *)
+
+val get_bit : t -> int -> int
+(** [get_bit f m] is the value (0 or 1) of [f] on minterm [m]. *)
+
+val set_bit : t -> int -> unit
+(** In-place; only intended for table construction. *)
+
+val clear_bit : t -> int -> unit
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val is_const0 : t -> bool
+val is_const1 : t -> bool
+
+(** {1 Boolean operations} *)
+
+val ( &: ) : t -> t -> t
+val ( |: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val ( ~: ) : t -> t
+val xnor : t -> t -> t
+val nand : t -> t -> t
+val nor : t -> t -> t
+
+val ite : t -> t -> t -> t
+(** [ite i t e]: multiplexer selecting [t] where [i] is true, [e]
+    elsewhere. *)
+
+val maj : t -> t -> t -> t
+(** Three-input majority. *)
+
+val count_ones : t -> int
+(** Number of on-set minterms. *)
+
+(** {1 Cofactors and variables} *)
+
+val cofactor0 : t -> int -> t
+(** Negative cofactor with respect to a variable; the result keeps the same
+    variable count but no longer depends on it. *)
+
+val cofactor1 : t -> int -> t
+(** Positive cofactor. *)
+
+val has_var : t -> int -> bool
+(** Does the function depend on the variable? *)
+
+val support : t -> int list
+(** Variables the function depends on, ascending. *)
+
+val exists : t -> int -> t
+(** Existential quantification: [cofactor0 f i |: cofactor1 f i]. *)
+
+val forall : t -> int -> t
+(** Universal quantification. *)
+
+val flip : t -> int -> t
+(** [flip f i] complements variable [i]: the result maps [x] to
+    [f] with [x_i] inverted. *)
+
+val swap_vars : t -> int -> int -> t
+(** Exchange two variables. *)
+
+val permute : t -> int array -> t
+(** [permute f perm] is the function [g] with
+    [g(x_0, .., x_{n-1}) = f(x_{perm.(0)}, .., x_{perm.(n-1)})] — f's
+    variable [i] reads position [perm.(i)]. *)
+
+(** {1 Resizing and composition} *)
+
+val extend : t -> int -> t
+(** Add variables (the function does not depend on them). *)
+
+val shrink : t -> int -> t
+(** Drop the top variables; they must not be in the support. *)
+
+val apply : t -> t array -> t
+(** [apply f args] composes: the result maps [x] to
+    [f(args.(0)(x), .., args.(n-1)(x))].  All [args] must range over the
+    same variable count. *)
+
+(** {1 Printing} *)
+
+val to_hex : t -> string
+val to_binary : t -> string
+val to_int64 : t -> int64
+(** Raw low word; only for tables of at most 6 variables. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lsgen/blocks.ml: Array List Network

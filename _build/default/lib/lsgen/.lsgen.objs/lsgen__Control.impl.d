@@ -1,0 +1,1 @@
+lib/lsgen/control.ml: Array Blocks List Network Random

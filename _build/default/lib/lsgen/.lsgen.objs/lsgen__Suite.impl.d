@@ -1,0 +1,1 @@
+lib/lsgen/suite.ml: Array Blocks Control Float List Network

@@ -1,0 +1,220 @@
+(* Word-level circuit blocks, generic over the network representation.
+   These are the building blocks of the EPFL-suite stand-in generators:
+   everything is expressed with the generic constructors, so the same
+   generator emits AIGs, MIGs, XAGs or XMGs.
+
+   Words are little-endian signal arrays (index 0 = LSB). *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  type word = N.signal array
+
+  let constant_word t ~width v : word =
+    ignore t;
+    Array.init width (fun i -> N.constant ((v lsr i) land 1 = 1))
+
+  let input_word t ~width : word = Array.init width (fun _ -> N.create_pi t)
+
+  let output_word t (w : word) = Array.iter (fun s -> N.create_po t s) w
+
+  (* -- addition -- *)
+
+  let full_adder t a b c =
+    let sum = N.create_xor t (N.create_xor t a b) c in
+    let carry = N.create_maj t a b c in
+    (sum, carry)
+
+  (* Ripple-carry adder; returns the sum word and the carry out. *)
+  let ripple_adder t (a : word) (b : word) cin : word * N.signal =
+    assert (Array.length a = Array.length b);
+    let carry = ref cin in
+    let sum =
+      Array.mapi
+        (fun i ai ->
+          let s, c = full_adder t ai b.(i) !carry in
+          carry := c;
+          s)
+        a
+    in
+    (sum, !carry)
+
+  let add t a b = ripple_adder t a b (N.constant false)
+
+  (* a - b = a + ~b + 1; the returned carry is 1 when a >= b. *)
+  let subtract t (a : word) (b : word) : word * N.signal =
+    ripple_adder t a (Array.map N.create_not b) (N.constant true)
+
+  (* unsigned comparison: a < b *)
+  let less_than t a b =
+    let _, geq = subtract t a b in
+    N.create_not geq
+
+  (* -- multiplexing and shifting -- *)
+
+  let mux t s a b = N.create_ite t s a b
+
+  let mux_word t s (a : word) (b : word) : word =
+    Array.init (Array.length a) (fun i -> mux t s a.(i) b.(i))
+
+  (* Logical right/left barrel shifter with log-depth mux stages. *)
+  let barrel_shifter t ?(left = false) (data : word) (shamt : word) : word =
+    let width = Array.length data in
+    let shifted = ref (Array.copy data) in
+    Array.iteri
+      (fun stage s ->
+        let k = 1 lsl stage in
+        let moved =
+          Array.init width (fun i ->
+              let src = if left then i - k else i + k in
+              if src < 0 || src >= width then N.constant false
+              else !shifted.(src))
+        in
+        shifted := mux_word t s moved !shifted)
+      shamt;
+    !shifted
+
+  (* -- multiplication -- *)
+
+  (* Array multiplier: partial products summed with ripple adders. *)
+  let multiplier t (a : word) (b : word) : word =
+    let wa = Array.length a and wb = Array.length b in
+    let width = wa + wb in
+    let acc = ref (constant_word t ~width 0) in
+    Array.iteri
+      (fun j bj ->
+        let partial =
+          Array.init width (fun i ->
+              if i >= j && i - j < wa then N.create_and t a.(i - j) bj
+              else N.constant false)
+        in
+        let sum, _ = add t !acc partial in
+        acc := sum)
+      b;
+    !acc
+
+  let square t (a : word) : word = multiplier t a a
+
+  (* -- division and square root (restoring) -- *)
+
+  (* Restoring divider: [width]-bit dividend / divisor -> quotient,
+     remainder. *)
+  let divider t (a : word) (b : word) : word * word =
+    let width = Array.length a in
+    assert (Array.length b = width);
+    let quotient = Array.make width (N.constant false) in
+    (* remainder register, width+1 bits to absorb the shift *)
+    let rem = ref (constant_word t ~width:(width + 1) 0) in
+    let b_ext = Array.append b [| N.constant false |] in
+    for i = width - 1 downto 0 do
+      (* shift remainder left, bring in dividend bit i *)
+      let shifted =
+        Array.init (width + 1) (fun j ->
+            if j = 0 then a.(i) else !rem.(j - 1))
+      in
+      let diff, geq = subtract t shifted b_ext in
+      quotient.(i) <- geq;
+      rem := mux_word t geq diff shifted
+    done;
+    (quotient, Array.sub !rem 0 width)
+
+  (* Restoring square root: [2k]-bit radicand -> k-bit root and remainder. *)
+  let sqrt t (a : word) : word * word =
+    let width = Array.length a in
+    assert (width mod 2 = 0);
+    let k = width / 2 in
+    let root = Array.make k (N.constant false) in
+    let rw = k + 2 in
+    let rem = ref (constant_word t ~width:rw 0) in
+    for i = k - 1 downto 0 do
+      (* shift in the next two radicand bits *)
+      let shifted =
+        Array.init rw (fun j ->
+            if j = 0 then a.(2 * i)
+            else if j = 1 then a.((2 * i) + 1)
+            else !rem.(j - 2))
+      in
+      (* trial subtrahend (partial_root << 2) | 01, where partial_root holds
+         the already-computed bits above position i *)
+      let trial =
+        Array.init rw (fun j ->
+            if j = 0 then N.constant true
+            else if j = 1 then N.constant false
+            else
+              let src = j - 2 + i + 1 in
+              if src < k then root.(src) else N.constant false)
+      in
+      let diff, geq = subtract t shifted trial in
+      root.(i) <- geq;
+      rem := mux_word t geq diff shifted
+    done;
+    (* the remainder can reach 2*root, which needs k+1 bits *)
+    (root, Array.sub !rem 0 (k + 1))
+
+  (* -- encoders / decoders / selection -- *)
+
+  (* Priority encoder: index of the highest set bit, plus a valid flag. *)
+  let priority_encoder t (x : word) : word * N.signal =
+    let n = Array.length x in
+    let bits = ref 0 in
+    while 1 lsl !bits < n do
+      incr bits
+    done;
+    let out = Array.make !bits (N.constant false) in
+    (* none_above.(i): no bit above position i is set — computed by a scan *)
+    let valid = ref (N.constant false) in
+    let index = ref (constant_word t ~width:!bits 0) in
+    for i = 0 to n - 1 do
+      (* if x_i then index = i *)
+      let const_i = constant_word t ~width:!bits i in
+      index := mux_word t x.(i) const_i !index;
+      valid := N.create_or t !valid x.(i)
+    done;
+    Array.blit !index 0 out 0 !bits;
+    (out, !valid)
+
+  (* Full decoder: k select bits -> 2^k one-hot outputs. *)
+  let decoder t (sel : word) : word =
+    let k = Array.length sel in
+    Array.init (1 lsl k) (fun v ->
+        N.create_nary_and t
+          (List.init k (fun i ->
+               if (v lsr i) land 1 = 1 then sel.(i) else N.create_not sel.(i))))
+
+  (* Population count: widen each bit to a word and sum pairwise (a balanced
+     adder tree). *)
+  let popcount t (xs : N.signal list) : word =
+    let pad width w =
+      Array.init width (fun i ->
+          if i < Array.length w then w.(i) else N.constant false)
+    in
+    let add_words a b =
+      let width = max (Array.length a) (Array.length b) + 1 in
+      let sum, _ = add t (pad width a) (pad width b) in
+      sum
+    in
+    let rec reduce = function
+      | [] -> [| N.constant false |]
+      | [ w ] -> w
+      | ws ->
+        let rec pair = function
+          | [] -> []
+          | [ w ] -> [ w ]
+          | a :: b :: rest -> add_words a b :: pair rest
+        in
+        reduce (pair ws)
+    in
+    reduce (List.map (fun x -> [| x |]) xs)
+
+  (* max of a list of words, with the index of the winner *)
+  let max_tree t (words : word list) : word * word =
+    let rec go idx = function
+      | [] -> invalid_arg "max_tree: empty"
+      | [ w ] -> (w, constant_word t ~width:2 idx)
+      | w :: rest ->
+        let best_rest, best_idx = go (idx + 1) rest in
+        let lt = less_than t w best_rest in
+        let w' = mux_word t lt best_rest w in
+        let idx' = mux_word t lt best_idx (constant_word t ~width:2 idx) in
+        (w', idx')
+    in
+    go 0 words
+end

@@ -1,0 +1,98 @@
+(* Control-logic generators: a rotating-priority arbiter (the "arbiter"
+   benchmark class) and a seeded random-logic generator standing in for the
+   EPFL control benchmarks (ctrl, cavlc, i2c, mem_ctrl, router) whose RTL
+   is not available offline.  The random generator biases gate inputs
+   towards recently created signals, which yields the moderately deep,
+   reconvergent structure typical of control logic rather than a shallow
+   random mess. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module B = Blocks.Make (N)
+
+  (* Rotating-priority (round-robin) arbiter: grant the first request at or
+     after the pointer position.  Inputs: req[n] and a one-hot-ish pointer
+     ptr[n]; outputs: grant[n] plus an any-grant flag. *)
+  let rr_arbiter t (req : N.signal array) (ptr : N.signal array) :
+      N.signal array * N.signal =
+    let n = Array.length req in
+    assert (Array.length ptr = n);
+    (* carry chain: token travels from the pointer position through
+       non-requesting slots, wrapping once around *)
+    let grant = Array.make n (N.constant false) in
+    (* token_in.(i) for the linear pass, seeded by ptr *)
+    let token = ref (N.constant false) in
+    (* two sweeps implement the wrap-around *)
+    for sweep = 0 to 1 do
+      for i = 0 to n - 1 do
+        let arrives = N.create_or t !token ptr.(i) in
+        let arrives = if sweep = 0 then arrives else N.create_or t arrives !token in
+        let g = N.create_and t arrives req.(i) in
+        grant.(i) <- N.create_or t grant.(i) g;
+        (* token continues if it arrived but was not consumed *)
+        token := N.create_and t arrives (N.create_not req.(i))
+      done
+    done;
+    (* make grants one-hot: mask later grants once one fired *)
+    let any = ref (N.constant false) in
+    let one_hot =
+      Array.map
+        (fun g ->
+          let g' = N.create_and t g (N.create_not !any) in
+          any := N.create_or t !any g;
+          g')
+        grant
+    in
+    (one_hot, !any)
+
+  (* Deterministic random control logic with locality bias. *)
+  let random_logic t ~seed ~num_pis ~num_pos ~num_gates : unit =
+    let rng = Random.State.make [| seed |] in
+    let signals = ref [] in
+    let count = ref 0 in
+    let push s =
+      signals := s :: !signals;
+      incr count
+    in
+    for _ = 1 to num_pis do
+      push (N.create_pi t)
+    done;
+    (* mostly uniform over all existing signals (keeps depth logarithmic,
+       like real control logic), with a mild recency bias for reconvergence *)
+    let pick () =
+      let l = !signals in
+      let len = List.length l in
+      let idx =
+        if Random.State.int rng 100 < 20 then Random.State.int rng (min 8 len)
+        else Random.State.int rng len
+      in
+      let s = List.nth l idx in
+      N.complement_if (Random.State.bool rng) s
+    in
+    (* Only non-trivial new gates are kept: simplified-away results (a
+       constant or an existing signal) would otherwise accumulate at the
+       head of the recency list and collapse everything downstream. *)
+    let created = ref 0 in
+    let attempts = ref 0 in
+    while !created < num_gates && !attempts < 20 * num_gates do
+      incr attempts;
+      let before = N.num_gates t in
+      let s =
+        match Random.State.int rng 8 with
+        | 0 | 1 | 2 -> N.create_and t (pick ()) (pick ())
+        | 3 | 4 -> N.create_or t (pick ()) (pick ())
+        | 5 -> N.create_xor t (pick ()) (pick ())
+        | 6 -> N.create_ite t (pick ()) (pick ()) (pick ())
+        | _ -> N.create_maj t (pick ()) (pick ()) (pick ())
+      in
+      if N.num_gates t > before then begin
+        push s;
+        incr created
+      end
+    done;
+    (* outputs: drawn from the most recent signals so the logic is live *)
+    let arr = Array.of_list !signals in
+    for i = 0 to num_pos - 1 do
+      let idx = i * Array.length arr / (2 * num_pos) in
+      N.create_po t (N.complement_if (i land 1 = 1) arr.(idx mod Array.length arr))
+    done
+end

@@ -1,0 +1,189 @@
+(* The EPFL-combinational-suite stand-in (see DESIGN.md, substitutions):
+   one generator per benchmark class, at widths scaled so that the whole
+   suite optimizes in minutes rather than hours.  Each generator produces
+   the same circuit family as its EPFL namesake — deep carry chains where
+   the original is arithmetic, XOR-rich logic where it is, wide
+   unstructured control where it is — so the optimization trends of the
+   paper's Table 2 are exercised by the same code paths.
+
+   All generators are expressed with generic constructors and therefore
+   work for every representation; Table 2 uses the AIG instantiation as
+   the baseline, exactly like the paper. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module B = Blocks.Make (N)
+  module C = Control.Make (N)
+
+  let adder ~width t =
+    let a = B.input_word t ~width and b = B.input_word t ~width in
+    let sum, carry = B.add t a b in
+    B.output_word t sum;
+    N.create_po t carry
+
+  let arbiter ~width t =
+    let req = B.input_word t ~width and ptr = B.input_word t ~width in
+    let grant, any = C.rr_arbiter t req ptr in
+    B.output_word t grant;
+    N.create_po t any
+
+  let bar ~width t =
+    let bits = int_of_float (Float.log2 (float_of_int width)) in
+    let data = B.input_word t ~width in
+    let shamt = B.input_word t ~width:bits in
+    B.output_word t (B.barrel_shifter t data shamt)
+
+  let cavlc t = C.random_logic t ~seed:0xCA ~num_pis:10 ~num_pos:11 ~num_gates:700
+  let ctrl t = C.random_logic t ~seed:0xC7 ~num_pis:7 ~num_pos:26 ~num_gates:180
+
+  let dec ~width t =
+    let sel = B.input_word t ~width in
+    B.output_word t (B.decoder t sel)
+
+  let div ~width t =
+    let a = B.input_word t ~width and b = B.input_word t ~width in
+    let q, r = B.divider t a b in
+    B.output_word t q;
+    B.output_word t r
+
+  let i2c t = C.random_logic t ~seed:0x12C ~num_pis:147 ~num_pos:142 ~num_gates:1300
+
+  let int2float t =
+    (* 11-bit unsigned integer -> 4-bit exponent + 3-bit mantissa *)
+    let x = B.input_word t ~width:11 in
+    let exp, _valid = B.priority_encoder t x in
+    (* normalize: shift left so the leading one moves to the top, then take
+       the next 3 bits *)
+    let shamt =
+      (* 11 - 1 - exp, as a 4-bit value: implemented as (10 - exp) *)
+      let ten = B.constant_word t ~width:4 10 in
+      let diff, _ = B.subtract t ten exp in
+      diff
+    in
+    let shifted = B.barrel_shifter t ~left:true x shamt in
+    let mantissa = [| shifted.(8); shifted.(9); shifted.(10) |] in
+    B.output_word t exp;
+    B.output_word t mantissa
+
+  let log2 ~width t =
+    (* fixed-point log2 by repeated squaring: each output bit doubles the
+       running mantissa through a truncated squarer (stand-in for the EPFL
+       log2, same multiplier-chain structure) *)
+    let x = B.input_word t ~width in
+    let running = ref x in
+    let out = ref [] in
+    for _ = 1 to width do
+      let sq = B.square t !running in
+      (* output bit: overflow of the square's top bit *)
+      let top = sq.((2 * width) - 1) in
+      out := top :: !out;
+      (* renormalize: keep the upper half, conditionally shifted *)
+      let hi = Array.sub sq width width in
+      let lo = Array.sub sq (width - 1) width in
+      running := B.mux_word t top hi lo
+    done;
+    List.iter (fun s -> N.create_po t s) (List.rev !out)
+
+  let max4 ~width t =
+    let words = List.init 4 (fun _ -> B.input_word t ~width) in
+    let best, idx = B.max_tree t words in
+    B.output_word t best;
+    B.output_word t idx
+
+  let mem_ctrl t =
+    C.random_logic t ~seed:0x3E3 ~num_pis:1204 ~num_pos:1231 ~num_gates:4200
+
+  let multiplier ~width t =
+    let a = B.input_word t ~width and b = B.input_word t ~width in
+    B.output_word t (B.multiplier t a b)
+
+  let priority ~width t =
+    let x = B.input_word t ~width in
+    let idx, valid = B.priority_encoder t x in
+    B.output_word t idx;
+    N.create_po t valid
+
+  let router t = C.random_logic t ~seed:0x707 ~num_pis:60 ~num_pos:30 ~num_gates:230
+
+  let sin ~width t =
+    (* CORDIC rotation: conditional add/subtract chains driven by the angle
+       accumulator sign (stand-in for the EPFL sin with the same
+       shift-and-add structure) *)
+    let angle = B.input_word t ~width in
+    let x = ref (B.constant_word t ~width 1) in
+    let y = ref (B.constant_word t ~width 0) in
+    let z = ref angle in
+    let shift_right w k =
+      Array.init width (fun i ->
+          if i + k < width then w.(i + k) else N.constant false)
+    in
+    for k = 0 to width - 1 do
+      let sign = !z.(width - 1) in
+      (* d = +1 when z >= 0: x -= d*(y>>k), y += d*(x>>k), z -= d*alpha_k *)
+      let ys = shift_right !y k and xs = shift_right !x k in
+      let x_add, _ = B.add t !x ys in
+      let x_sub, _ = B.subtract t !x ys in
+      let y_add, _ = B.add t !y xs in
+      let y_sub, _ = B.subtract t !y xs in
+      let alpha = B.constant_word t ~width (1 lsl (max 0 (width - 2 - k))) in
+      let z_add, _ = B.add t !z alpha in
+      let z_sub, _ = B.subtract t !z alpha in
+      x := B.mux_word t sign x_add x_sub;
+      y := B.mux_word t sign y_sub y_add;
+      z := B.mux_word t sign z_add z_sub
+    done;
+    B.output_word t !y;
+    N.create_po t !z.(width - 1)
+
+  let sqrt ~width t =
+    let a = B.input_word t ~width in
+    let root, _rem = B.sqrt t a in
+    B.output_word t root
+
+  let square ~width t =
+    let a = B.input_word t ~width in
+    B.output_word t (B.square t a)
+
+  let voter ~n t =
+    let xs = List.init n (fun _ -> N.create_pi t) in
+    let count = B.popcount t xs in
+    (* majority: count > n/2, i.e. count >= n/2 + 1 *)
+    let bits = Array.length count in
+    let threshold = B.constant_word t ~width:bits ((n / 2) + 1) in
+    let _, geq = B.subtract t count threshold in
+    N.create_po t geq
+
+  (* Benchmark registry: name, builder.  Widths are the scaled-down
+     defaults recorded in EXPERIMENTS.md. *)
+  let builders : (string * (N.t -> unit)) list =
+    [
+      ("adder", adder ~width:32);
+      ("arbiter", arbiter ~width:32);
+      ("bar", bar ~width:32);
+      ("cavlc", cavlc);
+      ("ctrl", ctrl);
+      ("dec", dec ~width:8);
+      ("div", div ~width:16);
+      ("i2c", i2c);
+      ("int2float", int2float);
+      ("log2", log2 ~width:8);
+      ("max", max4 ~width:32);
+      ("mem_ctrl", mem_ctrl);
+      ("multiplier", multiplier ~width:14);
+      ("priority", priority ~width:64);
+      ("router", router);
+      ("sin", sin ~width:10);
+      ("sqrt", sqrt ~width:32);
+      ("square", square ~width:16);
+      ("voter", voter ~n:301);
+    ]
+
+  let names = List.map fst builders
+
+  let build name : N.t =
+    match List.assoc_opt name builders with
+    | Some f ->
+      let t = N.create () in
+      f t;
+      t
+    | None -> invalid_arg ("Suite.build: unknown benchmark " ^ name)
+end

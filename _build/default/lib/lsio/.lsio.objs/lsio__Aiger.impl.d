@@ -1,0 +1,1 @@
+lib/lsio/aiger.ml: Aig Array Fun Hashtbl List Network Printf String

@@ -1,0 +1,1 @@
+lib/lsio/bench.ml: Array Buffer Fun Hashtbl Kitty Network Printf String

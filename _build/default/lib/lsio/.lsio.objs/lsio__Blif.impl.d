@@ -1,0 +1,1 @@
+lib/lsio/blif.ml: Array Cube Fun Hashtbl Isop Kind Kitty Klut List Network Printf String Tt

@@ -1,0 +1,1 @@
+lib/lsio/dot.ml: Array Fun Network Printf

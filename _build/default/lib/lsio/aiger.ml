@@ -1,0 +1,107 @@
+(* ASCII AIGER (aag) reader and writer for And-inverter graphs.
+
+   The EPFL benchmark suite ships as AIGER; supporting the format makes the
+   tool a drop-in consumer of standard benchmark files.  Only the
+   combinational subset (no latches) is handled. *)
+
+open Network
+
+exception Parse_error of string
+
+(* AIGER literal -> our signal.  AIGER: variable v has literals 2v (pos) /
+   2v+1 (neg), 0 = false, 1 = true; our signals use the same convention, so
+   translation is a node-index mapping only. *)
+
+let write (t : Aig.t) (oc : out_channel) =
+  (* compact node numbering: const = 0, PIs, then live gates in topo order *)
+  let index = Hashtbl.create (Aig.size t) in
+  Hashtbl.replace index 0 0;
+  let next = ref 1 in
+  Aig.foreach_pi t (fun n ->
+      Hashtbl.replace index n !next;
+      incr next);
+  let gates = ref [] in
+  let id = Aig.new_traversal_id t in
+  let rec visit n =
+    if Aig.visited t n <> id then begin
+      Aig.set_visited t n id;
+      if Aig.is_gate t n then begin
+        Array.iter (fun s -> visit (Aig.node_of_signal s)) (Aig.fanin t n);
+        Hashtbl.replace index n !next;
+        incr next;
+        gates := n :: !gates
+      end
+    end
+  in
+  Aig.foreach_po t (fun s -> visit (Aig.node_of_signal s));
+  let gates = List.rev !gates in
+  let lit s =
+    let v = Hashtbl.find index (Aig.node_of_signal s) in
+    (2 * v) + if Aig.is_complemented s then 1 else 0
+  in
+  let m = !next - 1 in
+  Printf.fprintf oc "aag %d %d 0 %d %d\n" m (Aig.num_pis t) (Aig.num_pos t)
+    (List.length gates);
+  Aig.foreach_pi t (fun n -> Printf.fprintf oc "%d\n" (2 * Hashtbl.find index n));
+  Aig.foreach_po t (fun s -> Printf.fprintf oc "%d\n" (lit s));
+  List.iter
+    (fun n ->
+      let f = Aig.fanin t n in
+      Printf.fprintf oc "%d %d %d\n"
+        (2 * Hashtbl.find index n)
+        (lit f.(0)) (lit f.(1)))
+    gates
+
+let write_file (t : Aig.t) (path : string) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write t oc)
+
+let read (ic : in_channel) : Aig.t =
+  let line () = try input_line ic with End_of_file -> raise (Parse_error "unexpected EOF") in
+  let header = line () in
+  let m, i, l, o, a =
+    match String.split_on_char ' ' (String.trim header) with
+    | [ "aag"; m; i; l; o; a ] ->
+      (int_of_string m, int_of_string i, int_of_string l, int_of_string o, int_of_string a)
+    | _ -> raise (Parse_error ("bad header: " ^ header))
+  in
+  if l <> 0 then raise (Parse_error "latches not supported");
+  let t = Aig.create ~initial_capacity:(m + 2) () in
+  (* map AIGER variable -> our signal *)
+  let map = Array.make (m + 1) (-1) in
+  map.(0) <- Aig.constant false;
+  let inputs =
+    Array.init i (fun _ ->
+        match String.split_on_char ' ' (String.trim (line ())) with
+        | [ v ] -> int_of_string v
+        | _ -> raise (Parse_error "bad input line"))
+  in
+  Array.iter
+    (fun l ->
+      if l land 1 = 1 || l = 0 then raise (Parse_error "bad input literal");
+      map.(l / 2) <- Aig.create_pi t)
+    inputs;
+  let outputs = Array.init o (fun _ -> int_of_string (String.trim (line ()))) in
+  let and_lines =
+    Array.init a (fun _ ->
+        match String.split_on_char ' ' (String.trim (line ())) with
+        | [ x; y; z ] -> (int_of_string x, int_of_string y, int_of_string z)
+        | _ -> raise (Parse_error "bad and line"))
+  in
+  let signal_of l =
+    let v = l / 2 in
+    if v > m then raise (Parse_error "literal out of range");
+    if map.(v) < 0 then raise (Parse_error "use before definition");
+    Aig.complement_if (l land 1 = 1) map.(v)
+  in
+  Array.iter
+    (fun (x, y, z) ->
+      if x land 1 = 1 then raise (Parse_error "bad and output literal");
+      map.(x / 2) <- Aig.create_and t (signal_of y) (signal_of z))
+    and_lines;
+  Array.iter (fun l -> Aig.create_po t (signal_of l)) outputs;
+  t
+
+let read_file (path : string) : Aig.t =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

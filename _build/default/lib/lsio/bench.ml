@@ -1,0 +1,59 @@
+(* BENCH-format writer, generic over the network representation.  BENCH has
+   no complemented edges, so complements are materialized as NOT lines
+   (deduplicated per node). *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  let write (t : N.t) (oc : out_channel) =
+    let name n = Printf.sprintf "n%d" n in
+    let inverters = Hashtbl.create 16 in
+    let buf = Buffer.create 4096 in
+    let operand s =
+      let n = N.node_of_signal s in
+      if N.is_complemented s then begin
+        if not (Hashtbl.mem inverters n) then begin
+          Hashtbl.replace inverters n ();
+          Buffer.add_string buf (Printf.sprintf "%s_n = NOT(%s)\n" (name n) (name n))
+        end;
+        name n ^ "_n"
+      end
+      else name n
+    in
+    N.foreach_pi t (fun n -> Printf.fprintf oc "INPUT(%s)\n" (name n));
+    let po_index = ref (-1) in
+    N.foreach_po t (fun _ ->
+        incr po_index;
+        Printf.fprintf oc "OUTPUT(po%d)\n" !po_index);
+    Buffer.add_string buf (Printf.sprintf "%s = gnd\n" (name 0));
+    N.foreach_gate t (fun n ->
+        let ins = Array.map operand (N.fanin t n) in
+        let args = String.concat ", " (Array.to_list ins) in
+        let line =
+          match N.gate_kind t n with
+          | Network.Kind.And -> Printf.sprintf "%s = AND(%s)\n" (name n) args
+          | Network.Kind.Xor -> Printf.sprintf "%s = XOR(%s)\n" (name n) args
+          | Network.Kind.Maj ->
+            (* BENCH has no MAJ primitive; expand via AND/OR *)
+            Printf.sprintf
+              "%s_ab = AND(%s, %s)\n%s_ac = AND(%s, %s)\n%s_bc = AND(%s, %s)\n%s = OR(%s_ab, %s_ac, %s_bc)\n"
+              (name n) ins.(0) ins.(1) (name n) ins.(0) ins.(2) (name n)
+              ins.(1) ins.(2) (name n) (name n) (name n) (name n)
+          | Network.Kind.Lut tt ->
+            Printf.sprintf "%s = LUT 0x%s(%s)\n" (name n) (Kitty.Tt.to_hex tt) args
+          | Network.Kind.Const | Network.Kind.Pi -> assert false
+        in
+        Buffer.add_string buf line);
+    (* PO buffers may add late inverter definitions to [buf], so render them
+       before flushing *)
+    let po_lines = Buffer.create 256 in
+    po_index := -1;
+    N.foreach_po t (fun s ->
+        incr po_index;
+        Buffer.add_string po_lines
+          (Printf.sprintf "po%d = BUFF(%s)\n" !po_index (operand s)));
+    output_string oc (Buffer.contents buf);
+    output_string oc (Buffer.contents po_lines)
+
+  let write_file (t : N.t) (path : string) =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write t oc)
+end

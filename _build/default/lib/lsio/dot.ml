@@ -1,0 +1,31 @@
+(* Graphviz DOT writer, generic over the representation — handy for
+   inspecting small networks in the examples and during debugging. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  let write (t : N.t) (oc : out_channel) =
+    Printf.fprintf oc "digraph %s {\n  rankdir=BT;\n" N.name;
+    N.foreach_pi t (fun n ->
+        Printf.fprintf oc "  n%d [shape=box,label=\"pi%d\"];\n" n
+          (N.pi_index t n));
+    N.foreach_gate t (fun n ->
+        Printf.fprintf oc "  n%d [shape=ellipse,label=\"%s %d\"];\n" n
+          (Network.Kind.name (N.gate_kind t n))
+          n);
+    N.foreach_gate t (fun n ->
+        Array.iter
+          (fun s ->
+            Printf.fprintf oc "  n%d -> n%d%s;\n" (N.node_of_signal s) n
+              (if N.is_complemented s then " [style=dashed]" else ""))
+          (N.fanin t n));
+    let po_index = ref (-1) in
+    N.foreach_po t (fun s ->
+        incr po_index;
+        Printf.fprintf oc "  po%d [shape=invtriangle];\n" !po_index;
+        Printf.fprintf oc "  n%d -> po%d%s;\n" (N.node_of_signal s) !po_index
+          (if N.is_complemented s then " [style=dashed]" else ""));
+    Printf.fprintf oc "}\n"
+
+  let write_file (t : N.t) (path : string) =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write t oc)
+end

@@ -1,0 +1,1 @@
+lib/network/aig.ml: Core_network Kind Ops Signal

@@ -1,0 +1,1 @@
+lib/network/build.ml: Array Intf Kind Kitty List

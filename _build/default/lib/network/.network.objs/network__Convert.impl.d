@@ -1,0 +1,1 @@
+lib/network/convert.ml: Array Build Intf List

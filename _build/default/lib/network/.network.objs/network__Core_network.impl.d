@@ -1,0 +1,1 @@
+lib/network/core_network.ml: Array Format Hashtbl Kind List Queue Signal Stdlib

@@ -1,0 +1,1 @@
+lib/network/intf.ml: Format Kind Kitty Signal

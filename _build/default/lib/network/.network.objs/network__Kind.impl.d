@@ -1,0 +1,1 @@
+lib/network/kind.ml: Kitty Tt

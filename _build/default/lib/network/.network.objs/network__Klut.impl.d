@@ -1,0 +1,1 @@
+lib/network/klut.ml: Array Core_network Kind Kitty List Ops Signal Stdlib Tt

@@ -1,0 +1,1 @@
+lib/network/mig.ml: Array Core_network Kind Ops Signal Stdlib

@@ -1,0 +1,1 @@
+lib/network/ops.ml: Signal

@@ -1,0 +1,1 @@
+lib/network/signal.ml: Format

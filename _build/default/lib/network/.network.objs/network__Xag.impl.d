@@ -1,0 +1,1 @@
+lib/network/xag.ml: Core_network Kind Ops Signal

@@ -1,0 +1,1 @@
+lib/network/xmg.ml: Core_network Kind Mig Ops Signal

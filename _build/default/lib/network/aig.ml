@@ -1,0 +1,47 @@
+(* And-inverter graphs: two-input AND gates with complemented edges. *)
+
+include Core_network.Make (struct
+  let name = "aig"
+  let max_fanin = 2
+
+  let normalize kind fanins =
+    match (kind, fanins) with
+    | Kind.And, [| a; b |] ->
+      let a, b = if a <= b then (a, b) else (b, a) in
+      if a = Signal.constant false then Core_network.Norm_signal (Signal.constant false)
+      else if a = Signal.constant true then Core_network.Norm_signal b
+      else if a = b then Core_network.Norm_signal a
+      else if a = Signal.complement b then Core_network.Norm_signal (Signal.constant false)
+      else Core_network.Norm_node (Kind.And, [| a; b |], false)
+    | (Kind.Const | Kind.Pi | Kind.And | Kind.Xor | Kind.Maj | Kind.Lut _), _ ->
+      invalid_arg "Aig.normalize: only 2-input AND gates"
+end)
+
+let create_not = Signal.complement
+let create_and t a b = create_node t Kind.And [| a; b |]
+
+let create_or t a b =
+  Signal.complement (create_and t (Signal.complement a) (Signal.complement b))
+
+let create_xor t a b =
+  (* (a & !b) | (!a & b) *)
+  create_or t
+    (create_and t a (Signal.complement b))
+    (create_and t (Signal.complement a) b)
+
+let create_maj t a b c =
+  (* (a & b) | (c & (a | b)) *)
+  create_or t (create_and t a b) (create_and t c (create_or t a b))
+
+let create_ite t i th el =
+  create_or t (create_and t i th) (create_and t (Signal.complement i) el)
+
+include Ops.Nary (struct
+  type nonrec t = t
+  type signal = Signal.t
+
+  let constant = constant
+  let create_and = create_and
+  let create_or = create_or
+  let create_xor = create_xor
+end)

@@ -1,0 +1,35 @@
+(* Building arbitrary Boolean functions inside any network, from truth
+   tables (via ISOP + algebraic factoring) or factored expressions.  This is
+   the "containment" device of paper §2.3.3: any resynthesis engine that
+   produces a function can target every representation through the generic
+   constructors. *)
+
+module Make (N : Intf.NETWORK) = struct
+  (* Build a factored expression over the given input signals. *)
+  let rec of_expr t (inputs : N.signal array) (e : Kitty.Factor.expr) : N.signal =
+    match e with
+    | Kitty.Factor.Const b -> N.constant b
+    | Kitty.Factor.Lit (v, c) -> N.complement_if c inputs.(v)
+    | Kitty.Factor.And es ->
+      N.create_nary_and t (List.map (of_expr t inputs) es)
+    | Kitty.Factor.Or es ->
+      N.create_nary_or t (List.map (of_expr t inputs) es)
+
+  (* Build [tt] over [inputs] (inputs.(i) drives variable i). *)
+  let of_tt t inputs tt =
+    assert (Array.length inputs >= Kitty.Tt.num_vars tt);
+    of_expr t inputs (Kitty.Factor.of_tt tt)
+
+  (* Build [kind] applied to [fanins]; used when cloning nodes across
+     representations. *)
+  let of_kind t kind (fanins : N.signal array) : N.signal =
+    match (kind, fanins) with
+    | Kind.And, [| a; b |] -> N.create_and t a b
+    | Kind.Xor, [| a; b |] -> N.create_xor t a b
+    | Kind.Maj, [| a; b; c |] -> N.create_maj t a b c
+    | Kind.Lut tt, _ -> of_tt t fanins tt
+    | Kind.And, _ -> N.create_nary_and t (Array.to_list fanins)
+    | Kind.Xor, _ -> N.create_nary_xor t (Array.to_list fanins)
+    | (Kind.Const | Kind.Pi | Kind.Maj), _ ->
+      invalid_arg "Build.of_kind: not a buildable gate"
+end

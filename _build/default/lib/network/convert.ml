@@ -1,0 +1,58 @@
+(* Conversion between network representations.
+
+   Traverses the source network in topological (creation-compatible) order
+   and rebuilds every gate in the destination with the destination's own
+   constructors; structural hashing in the destination deduplicates on the
+   fly.  [Cleanup] (same-type conversion) also sweeps dangling nodes and
+   re-strashes. *)
+
+module Make (Src : Intf.NETWORK) (Dst : Intf.NETWORK) = struct
+  module B = Build.Make (Dst)
+
+  (* Topological order over live source nodes (substitutions may have broken
+     creation order, so a DFS from the outputs is required). *)
+  let topological_order src =
+    let id = Src.new_traversal_id src in
+    let order = ref [] in
+    let rec visit n =
+      if Src.visited src n <> id then begin
+        Src.set_visited src n id;
+        if Src.is_gate src n then begin
+          Array.iter (fun s -> visit (Src.node_of_signal s)) (Src.fanin src n);
+          order := n :: !order
+        end
+      end
+    in
+    Src.foreach_po src (fun s -> visit (Src.node_of_signal s));
+    List.rev !order
+
+  let convert (src : Src.t) : Dst.t =
+    let dst = Dst.create ~initial_capacity:(Src.size src) () in
+    (* map source node -> destination signal *)
+    let map = Array.make (Src.size src) (-1) in
+    map.(0) <- Dst.constant false;
+    Src.foreach_pi src (fun n -> map.(n) <- Dst.create_pi dst);
+    List.iter
+      (fun n ->
+        let fanins =
+          Array.map
+            (fun s ->
+              let m = map.(Src.node_of_signal s) in
+              assert (m >= 0);
+              Dst.complement_if (Src.is_complemented s) m)
+            (Src.fanin src n)
+        in
+        map.(n) <- B.of_kind dst (Src.gate_kind src n) fanins)
+      (topological_order src);
+    Src.foreach_po src (fun s ->
+        let m = map.(Src.node_of_signal s) in
+        Dst.create_po dst (Dst.complement_if (Src.is_complemented s) m));
+    dst
+end
+
+(* Same-type copy that drops dangling and dead nodes. *)
+module Cleanup (N : Intf.NETWORK) = struct
+  module C = Make (N) (N)
+
+  let cleanup = C.convert
+end

@@ -1,0 +1,109 @@
+(* Layer 1 of the paper's architecture: the network interface API.
+
+   [NETWORK] is the abstract concept definition of a graph-based multi-level
+   logic representation.  Every algorithm in [Algo] is a functor over this
+   module type (or a sub-signature of it); a network implementation that
+   does not provide a required method simply does not type-check against the
+   functor — the OCaml analogue of the paper's compile-time static
+   assertions, with no dynamic polymorphism. *)
+
+module type NETWORK = sig
+  type t
+
+  type node = int
+  (** Nodes are dense integer indices; node 0 is the constant-false node. *)
+
+  type signal = Signal.t
+  (** A complement-annotated node reference; see {!Signal}. *)
+
+  val name : string
+  val max_fanin : int
+
+  (* signals *)
+  val signal_of_node : node -> signal
+  val node_of_signal : signal -> node
+  val is_complemented : signal -> bool
+  val complement : signal -> signal
+  val complement_if : bool -> signal -> signal
+  val constant : bool -> signal
+
+  (* construction *)
+  val create : ?initial_capacity:int -> unit -> t
+  val create_pi : t -> signal
+  val create_po : t -> signal -> unit
+  val set_po : t -> int -> signal -> unit
+
+  (* generic gate constructors (mandatory interface) *)
+  val create_not : signal -> signal
+  val create_and : t -> signal -> signal -> signal
+  val create_or : t -> signal -> signal -> signal
+  val create_xor : t -> signal -> signal -> signal
+  val create_maj : t -> signal -> signal -> signal -> signal
+  val create_ite : t -> signal -> signal -> signal -> signal
+  val create_nary_and : t -> signal list -> signal
+  val create_nary_or : t -> signal list -> signal
+  val create_nary_xor : t -> signal list -> signal
+
+  (* native node creation (used by cloning and database instantiation) *)
+  val create_node : t -> Kind.t -> signal array -> signal
+
+  (* structure *)
+  val size : t -> int
+  val num_gates : t -> int
+  val num_pis : t -> int
+  val num_pos : t -> int
+  val is_constant : t -> node -> bool
+  val is_pi : t -> node -> bool
+  val is_gate : t -> node -> bool
+  val is_dead : t -> node -> bool
+  val gate_kind : t -> node -> Kind.t
+  val fanin : t -> node -> signal array
+  val fanin_size : t -> node -> int
+  val fanout : t -> node -> node list
+  val ref_count : t -> node -> int
+  val pi_at : t -> int -> node
+  val po_at : t -> int -> signal
+  val pis : t -> node array
+  val pos : t -> signal array
+  val pi_index : t -> node -> int
+
+  (* iteration *)
+  val foreach_node : t -> (node -> unit) -> unit
+  val foreach_pi : t -> (node -> unit) -> unit
+  val foreach_po : t -> (signal -> unit) -> unit
+  val foreach_gate : t -> (node -> unit) -> unit
+  val foreach_fanin : t -> node -> (signal -> unit) -> unit
+  val gates : t -> node list
+
+  (* node functions *)
+  val node_function : t -> node -> Kitty.Tt.t
+  (** Local function of a gate over its fanins; edge complements are applied
+      by the caller. *)
+
+  (* reference counting for DAG-aware gain computation (paper §2.2.3) *)
+  val incr_ref : t -> node -> int
+  val decr_ref : t -> node -> int
+  val recursive_deref : t -> node -> int
+  val recursive_ref : t -> node -> int
+
+  (* in-place restructuring *)
+  val substitute_node : t -> node -> signal -> unit
+  val replace_in_outputs : t -> node -> signal -> unit
+  val take_out_if_dead : t -> node -> unit
+
+  (* scratch state for algorithms *)
+  val set_value : t -> node -> int -> unit
+  val value : t -> node -> int
+  val incr_value : t -> node -> int
+  val decr_value : t -> node -> int
+  val clear_values : t -> unit
+  val new_traversal_id : t -> int
+  val set_visited : t -> node -> int -> unit
+  val visited : t -> node -> int
+
+  val check_integrity : t -> string list
+  (** Structural-invariant violations (empty when the network is sound);
+      intended for tests and debugging. *)
+
+  val pp_stats : Format.formatter -> t -> unit
+end

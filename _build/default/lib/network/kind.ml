@@ -1,0 +1,43 @@
+(* Gate kinds shared by all network implementations.  Each network restricts
+   which kinds it creates; algorithms dispatch on the kind when they need a
+   fast path but can always fall back to [function_of]. *)
+
+type t =
+  | Const  (* the constant-false node (node 0) *)
+  | Pi
+  | And
+  | Xor
+  | Maj
+  | Lut of Kitty.Tt.t
+
+let equal a b =
+  match (a, b) with
+  | Const, Const | Pi, Pi | And, And | Xor, Xor | Maj, Maj -> true
+  | Lut x, Lut y -> Kitty.Tt.equal x y
+  | (Const | Pi | And | Xor | Maj | Lut _), _ -> false
+
+let name = function
+  | Const -> "const"
+  | Pi -> "pi"
+  | And -> "and"
+  | Xor -> "xor"
+  | Maj -> "maj"
+  | Lut _ -> "lut"
+
+(* Local function of a gate of this kind over [arity] fanins (edge
+   complements are applied by the caller, outside this function). *)
+let function_of kind arity =
+  let open Kitty in
+  match kind with
+  | Const -> Tt.const0 arity
+  | Pi -> invalid_arg "Kind.function_of: primary input has no local function"
+  | And ->
+    let rec go i acc = if i = arity then acc else go (i + 1) (Tt.( &: ) acc (Tt.nth_var arity i)) in
+    go 1 (Tt.nth_var arity 0)
+  | Xor ->
+    let rec go i acc = if i = arity then acc else go (i + 1) (Tt.( ^: ) acc (Tt.nth_var arity i)) in
+    go 1 (Tt.nth_var arity 0)
+  | Maj ->
+    if arity <> 3 then invalid_arg "Kind.function_of: majority arity must be 3"
+    else Tt.maj (Tt.nth_var 3 0) (Tt.nth_var 3 1) (Tt.nth_var 3 2)
+  | Lut tt -> tt

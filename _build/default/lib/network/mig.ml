@@ -1,0 +1,60 @@
+(* Majority-inverter graphs: three-input majority gates with complemented
+   edges.  AND/OR are represented as majority gates with a constant fanin
+   (maj(0,a,b) = a&b, maj(1,a,b) = a|b).  Self-duality
+   (maj(!a,!b,!c) = !maj(a,b,c)) is used to canonicalize nodes to at most
+   one complemented fanin. *)
+
+let normalize_maj fanins =
+  let arr = Array.copy fanins in
+  Array.sort Stdlib.compare arr;
+  let a = arr.(0) and b = arr.(1) and c = arr.(2) in
+  if a = b then Core_network.Norm_signal a
+  else if b = c then Core_network.Norm_signal b
+  else if a = Signal.complement b then Core_network.Norm_signal c
+  else if b = Signal.complement c then Core_network.Norm_signal a
+  else begin
+    let complemented =
+      (if Signal.is_complemented a then 1 else 0)
+      + (if Signal.is_complemented b then 1 else 0)
+      + (if Signal.is_complemented c then 1 else 0)
+    in
+    if complemented >= 2 then begin
+      let arr = Array.map Signal.complement arr in
+      Array.sort Stdlib.compare arr;
+      Core_network.Norm_node (Kind.Maj, arr, true)
+    end
+    else Core_network.Norm_node (Kind.Maj, arr, false)
+  end
+
+include Core_network.Make (struct
+  let name = "mig"
+  let max_fanin = 3
+
+  let normalize kind fanins =
+    match (kind, fanins) with
+    | Kind.Maj, [| _; _; _ |] -> normalize_maj fanins
+    | (Kind.Const | Kind.Pi | Kind.And | Kind.Xor | Kind.Maj | Kind.Lut _), _ ->
+      invalid_arg "Mig.normalize: only 3-input MAJ gates"
+end)
+
+let create_not = Signal.complement
+let create_maj t a b c = create_node t Kind.Maj [| a; b; c |]
+let create_and t a b = create_maj t (Signal.constant false) a b
+let create_or t a b = create_maj t (Signal.constant true) a b
+
+let create_xor t a b =
+  (* (a | b) & !(a & b) *)
+  create_and t (create_or t a b) (Signal.complement (create_and t a b))
+
+let create_ite t i th el =
+  create_or t (create_and t i th) (create_and t (Signal.complement i) el)
+
+include Ops.Nary (struct
+  type nonrec t = t
+  type signal = Signal.t
+
+  let constant = constant
+  let create_and = create_and
+  let create_or = create_or
+  let create_xor = create_xor
+end)

@@ -1,0 +1,38 @@
+(* N-ary gate helpers shared by all network implementations.  The trees are
+   built balanced (pairwise reduction) so that generator circuits do not
+   start with degenerate linear chains. *)
+
+module type BASIC = sig
+  type t
+  type signal = Signal.t
+
+  val constant : bool -> signal
+  val create_and : t -> signal -> signal -> signal
+  val create_or : t -> signal -> signal -> signal
+  val create_xor : t -> signal -> signal -> signal
+end
+
+module Nary (N : BASIC) = struct
+  let rec reduce_pairwise f t = function
+    | [] -> invalid_arg "Ops.reduce_pairwise: empty"
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | x :: y :: rest -> f t x y :: pair rest
+      in
+      reduce_pairwise f t (pair xs)
+
+  let create_nary_and t = function
+    | [] -> N.constant true
+    | xs -> reduce_pairwise N.create_and t xs
+
+  let create_nary_or t = function
+    | [] -> N.constant false
+    | xs -> reduce_pairwise N.create_or t xs
+
+  let create_nary_xor t = function
+    | [] -> N.constant false
+    | xs -> reduce_pairwise N.create_xor t xs
+end

@@ -1,0 +1,16 @@
+(* Signals are complement-annotated references to nodes, packed into a
+   single int: [2 * node + complement_bit].  Node 0 is the constant-false
+   node, so signal 0 is constant false and signal 1 constant true. *)
+
+type t = int
+
+let of_node n = n lsl 1
+let node s = s lsr 1
+let is_complemented s = s land 1 = 1
+let complement s = s lxor 1
+let complement_if b s = if b then s lxor 1 else s
+let constant b = if b then 1 else 0
+let is_constant s = s lsr 1 = 0
+
+let pp fmt s =
+  Format.fprintf fmt "%sn%d" (if is_complemented s then "!" else "") (node s)

@@ -1,0 +1,16 @@
+(** Signals: complement-annotated references to nodes, packed into a single
+    int as [2 * node + complement_bit].  Node 0 is the constant-false node,
+    so signal 0 is constant false and signal 1 constant true. *)
+
+type t = int
+
+val of_node : int -> t
+(** The positive signal of a node. *)
+
+val node : t -> int
+val is_complemented : t -> bool
+val complement : t -> t
+val complement_if : bool -> t -> t
+val constant : bool -> t
+val is_constant : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(* Xor-and graphs: two-input AND and XOR gates with complemented edges.
+   XOR gates are canonicalized with both fanins positive; input complements
+   are pulled to the output (x ^ !y = !(x ^ y)). *)
+
+include Core_network.Make (struct
+  let name = "xag"
+  let max_fanin = 2
+
+  let normalize kind fanins =
+    match (kind, fanins) with
+    | Kind.And, [| a; b |] ->
+      let a, b = if a <= b then (a, b) else (b, a) in
+      if a = Signal.constant false then Core_network.Norm_signal (Signal.constant false)
+      else if a = Signal.constant true then Core_network.Norm_signal b
+      else if a = b then Core_network.Norm_signal a
+      else if a = Signal.complement b then Core_network.Norm_signal (Signal.constant false)
+      else Core_network.Norm_node (Kind.And, [| a; b |], false)
+    | Kind.Xor, [| a; b |] ->
+      let out_c = Signal.is_complemented a <> Signal.is_complemented b in
+      let a = Signal.complement_if (Signal.is_complemented a) a in
+      let b = Signal.complement_if (Signal.is_complemented b) b in
+      let a, b = if a <= b then (a, b) else (b, a) in
+      if a = b then Core_network.Norm_signal (Signal.constant out_c)
+      else if a = Signal.constant false then
+        Core_network.Norm_signal (Signal.complement_if out_c b)
+      else Core_network.Norm_node (Kind.Xor, [| a; b |], out_c)
+    | (Kind.Const | Kind.Pi | Kind.And | Kind.Xor | Kind.Maj | Kind.Lut _), _ ->
+      invalid_arg "Xag.normalize: only 2-input AND/XOR gates"
+end)
+
+let create_not = Signal.complement
+let create_and t a b = create_node t Kind.And [| a; b |]
+let create_xor t a b = create_node t Kind.Xor [| a; b |]
+
+let create_or t a b =
+  Signal.complement (create_and t (Signal.complement a) (Signal.complement b))
+
+let create_maj t a b c =
+  (* a ^ ((a ^ b) & (a ^ c)) — three gates instead of four *)
+  create_xor t a (create_and t (create_xor t a b) (create_xor t a c))
+
+let create_ite t i th el =
+  (* el ^ (i & (th ^ el)) *)
+  create_xor t el (create_and t i (create_xor t th el))
+
+include Ops.Nary (struct
+  type nonrec t = t
+  type signal = Signal.t
+
+  let constant = constant
+  let create_and = create_and
+  let create_or = create_or
+  let create_xor = create_xor
+end)

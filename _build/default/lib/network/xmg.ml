@@ -1,0 +1,43 @@
+(* Xor-majority graphs: three-input majority plus two-input XOR gates with
+   complemented edges.  (The original XMG definition uses XOR3; we use XOR2,
+   which spans the same class of networks since xor3(a,b,c) =
+   xor2(a, xor2(b, c)).) *)
+
+include Core_network.Make (struct
+  let name = "xmg"
+  let max_fanin = 3
+
+  let normalize kind fanins =
+    match (kind, fanins) with
+    | Kind.Maj, [| _; _; _ |] -> Mig.normalize_maj fanins
+    | Kind.Xor, [| a; b |] ->
+      let out_c = Signal.is_complemented a <> Signal.is_complemented b in
+      let a = Signal.complement_if (Signal.is_complemented a) a in
+      let b = Signal.complement_if (Signal.is_complemented b) b in
+      let a, b = if a <= b then (a, b) else (b, a) in
+      if a = b then Core_network.Norm_signal (Signal.constant out_c)
+      else if a = Signal.constant false then
+        Core_network.Norm_signal (Signal.complement_if out_c b)
+      else Core_network.Norm_node (Kind.Xor, [| a; b |], out_c)
+    | (Kind.Const | Kind.Pi | Kind.And | Kind.Xor | Kind.Maj | Kind.Lut _), _ ->
+      invalid_arg "Xmg.normalize: only MAJ3/XOR2 gates"
+end)
+
+let create_not = Signal.complement
+let create_maj t a b c = create_node t Kind.Maj [| a; b; c |]
+let create_xor t a b = create_node t Kind.Xor [| a; b |]
+let create_and t a b = create_maj t (Signal.constant false) a b
+let create_or t a b = create_maj t (Signal.constant true) a b
+
+let create_ite t i th el =
+  create_xor t el (create_and t i (create_xor t th el))
+
+include Ops.Nary (struct
+  type nonrec t = t
+  type signal = Signal.t
+
+  let constant = constant
+  let create_and = create_and
+  let create_or = create_or
+  let create_xor = create_xor
+end)

@@ -1,0 +1,1 @@
+lib/satkit/dimacs.ml: Fun List Lit Printf Solver String

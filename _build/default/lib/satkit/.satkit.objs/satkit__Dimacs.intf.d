@@ -1,0 +1,1 @@
+lib/satkit/dimacs.mli: Lit Solver

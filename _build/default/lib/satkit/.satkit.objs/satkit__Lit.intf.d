@@ -1,0 +1,1 @@
+lib/satkit/lit.mli: Format

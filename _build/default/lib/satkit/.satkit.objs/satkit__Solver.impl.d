@@ -1,0 +1,1 @@
+lib/satkit/solver.ml: Array Format Hashtbl List Lit Stdlib

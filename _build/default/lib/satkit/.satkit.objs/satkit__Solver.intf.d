@@ -1,0 +1,1 @@
+lib/satkit/solver.mli: Format Lit

@@ -1,0 +1,11 @@
+(* Literals packed as ints: variable [v] yields the positive literal [2v]
+   and the negative literal [2v+1]. *)
+
+type t = int
+
+let make v = 2 * v
+let of_var v ~negated = (2 * v) + if negated then 1 else 0
+let var l = l lsr 1
+let is_neg l = l land 1 = 1
+let neg l = l lxor 1
+let pp fmt l = Format.fprintf fmt "%s%d" (if is_neg l then "-" else "") (var l + 1)

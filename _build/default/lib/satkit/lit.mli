@@ -1,0 +1,13 @@
+(** Literals packed as ints: variable [v] yields the positive literal [2v]
+    and the negative literal [2v+1]. *)
+
+type t = int
+
+val make : int -> t
+(** Positive literal of a variable. *)
+
+val of_var : int -> negated:bool -> t
+val var : t -> int
+val is_neg : t -> bool
+val neg : t -> t
+val pp : Format.formatter -> t -> unit

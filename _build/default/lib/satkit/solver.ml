@@ -1,0 +1,558 @@
+(* A CDCL SAT solver in the MiniSat tradition: two-watched-literal
+   propagation, first-UIP conflict analysis with clause learning, VSIDS
+   branching with phase saving, Luby restarts and activity-based deletion of
+   learnt clauses.
+
+   The solver is used by SAT-based exact synthesis (paper §2.2.2) and by
+   combinational equivalence checking; both produce CNF over a few hundred
+   to a few thousand variables, which this implementation handles easily. *)
+
+type result = Sat | Unsat | Unknown
+
+type clause = {
+  mutable lits : int array;
+  mutable activity : float;
+  learnt : bool;
+}
+
+type t = {
+  mutable num_vars : int;
+  mutable clauses : clause list;         (* original problem clauses *)
+  mutable learnts : clause list;
+  mutable watches : clause list array;   (* indexed by literal *)
+  mutable assign : int array;            (* var -> -1 | 0 (false) | 1 (true) *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable trail : int array;             (* literal stack *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;         (* decision-level boundaries *)
+  mutable trail_lim_size : int;
+  mutable qhead : int;
+  mutable activity : float array;        (* VSIDS per variable *)
+  mutable polarity : bool array;         (* saved phase: last assigned value *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable seen : bool array;
+  mutable ok : bool;                     (* false once trivially UNSAT *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  (* order heap for VSIDS *)
+  mutable heap : int array;              (* heap of variables *)
+  mutable heap_size : int;
+  mutable heap_pos : int array;          (* var -> index in heap, or -1 *)
+}
+
+let create () =
+  {
+    num_vars = 0;
+    clauses = [];
+    learnts = [];
+    watches = Array.make 16 [];
+    assign = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    trail = Array.make 8 0;
+    trail_size = 0;
+    trail_lim = Array.make 8 0;
+    trail_lim_size = 0;
+    qhead = 0;
+    activity = Array.make 8 0.0;
+    polarity = Array.make 8 false;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    seen = Array.make 8 false;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    heap = Array.make 8 0;
+    heap_size = 0;
+    heap_pos = Array.make 8 (-1);
+  }
+
+let num_vars t = t.num_vars
+let num_clauses t = List.length t.clauses
+let num_conflicts t = t.conflicts
+
+(* -- resizable arrays -- *)
+
+let ensure_var_capacity t v =
+  let cap = Array.length t.assign in
+  if v >= cap then begin
+    let ncap = max (2 * cap) (v + 1) in
+    let grow a def =
+      let b = Array.make ncap def in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.assign <- grow t.assign (-1);
+    t.level <- grow t.level 0;
+    t.reason <- grow t.reason None;
+    t.activity <- grow t.activity 0.0;
+    t.polarity <- grow t.polarity false;
+    t.seen <- grow t.seen false;
+    t.heap_pos <- grow t.heap_pos (-1);
+    let nw = Array.make (2 * ncap) [] in
+    Array.blit t.watches 0 nw 0 (Array.length t.watches);
+    t.watches <- nw;
+    let ntrail = Array.make ncap 0 in
+    Array.blit t.trail 0 ntrail 0 t.trail_size;
+    t.trail <- ntrail;
+    let nlim = Array.make ncap 0 in
+    Array.blit t.trail_lim 0 nlim 0 t.trail_lim_size;
+    t.trail_lim <- nlim
+  end
+
+(* -- VSIDS order heap (max-heap on activity) -- *)
+
+let heap_lt t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(a) <- j;
+  t.heap_pos.(b) <- i
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt t t.heap.(i) t.heap.(p) then begin
+      heap_swap t i p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && heap_lt t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_size && heap_lt t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    if t.heap_size >= Array.length t.heap then begin
+      let bigger = Array.make (2 * Array.length t.heap) 0 in
+      Array.blit t.heap 0 bigger 0 t.heap_size;
+      t.heap <- bigger
+    end;
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    heap_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  if t.heap_size > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_size);
+    t.heap_pos.(t.heap.(0)) <- 0
+  end;
+  t.heap_pos.(v) <- -1;
+  if t.heap_size > 0 then heap_down t 0;
+  v
+
+let heap_decrease t v = if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+(* -- variables -- *)
+
+let new_var t =
+  let v = t.num_vars in
+  t.num_vars <- v + 1;
+  ensure_var_capacity t v;
+  t.assign.(v) <- -1;
+  heap_insert t v;
+  v
+
+(* Ensure variables up to [v] exist. *)
+let ensure_var t v = while t.num_vars <= v do ignore (new_var t) done
+
+let value_lit t l =
+  let a = t.assign.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let _value_var t v = t.assign.(v)
+
+let decision_level t = t.trail_lim_size
+
+(* -- activity -- *)
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.num_vars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  heap_decrease t v
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+let cla_bump t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    List.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay t = t.cla_inc <- t.cla_inc /. 0.999
+
+(* -- assignment -- *)
+
+let enqueue t l reason =
+  let v = Lit.var l in
+  t.assign.(v) <- 1 lxor (l land 1);
+  t.polarity.(v) <- t.assign.(v) = 1;
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+let new_decision_level t =
+  t.trail_lim.(t.trail_lim_size) <- t.trail_size;
+  t.trail_lim_size <- t.trail_lim_size + 1
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_size - 1 downto bound do
+      let v = Lit.var t.trail.(i) in
+      t.assign.(v) <- -1;
+      t.reason.(v) <- None;
+      heap_insert t v
+    done;
+    t.trail_size <- bound;
+    t.qhead <- bound;
+    t.trail_lim_size <- lvl
+  end
+
+(* -- watched literals -- *)
+
+let attach_clause t c =
+  t.watches.(Lit.neg c.lits.(0)) <- c :: t.watches.(Lit.neg c.lits.(0));
+  t.watches.(Lit.neg c.lits.(1)) <- c :: t.watches.(Lit.neg c.lits.(1))
+
+(* Propagate all enqueued facts; returns the conflicting clause, if any. *)
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < t.trail_size do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    let ws = t.watches.(p) in
+    t.watches.(p) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest -> begin
+        (* ensure the false literal (= neg p) is at position 1 *)
+        if c.lits.(0) = Lit.neg p then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- Lit.neg p
+        end;
+        if value_lit t c.lits.(0) = 1 then begin
+          (* clause already satisfied: keep watching p *)
+          t.watches.(p) <- c :: t.watches.(p);
+          go rest
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let n = Array.length c.lits in
+          let rec find k =
+            if k >= n then -1
+            else if value_lit t c.lits.(k) <> 0 then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.lits.(1) <- c.lits.(k);
+            c.lits.(k) <- Lit.neg p;
+            t.watches.(Lit.neg c.lits.(1)) <- c :: t.watches.(Lit.neg c.lits.(1));
+            go rest
+          end
+          else begin
+            (* unit or conflicting *)
+            t.watches.(p) <- c :: t.watches.(p);
+            if value_lit t c.lits.(0) = 0 then begin
+              (* conflict: keep the remaining watchers *)
+              List.iter (fun c -> t.watches.(p) <- c :: t.watches.(p)) rest;
+              conflict := Some c;
+              t.qhead <- t.trail_size
+            end
+            else begin
+              enqueue t c.lits.(0) (Some c);
+              go rest
+            end
+          end
+        end
+      end
+    in
+    go ws
+  done;
+  !conflict
+
+(* -- conflict analysis (first UIP) -- *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref (t.trail_size - 1) in
+  let confl = ref (Some confl) in
+  let btlevel = ref 0 in
+  let continue_loop = ref true in
+  while !continue_loop do
+    (match !confl with
+    | None -> assert false
+    | Some c ->
+      if c.learnt then cla_bump t c;
+      let start = if !p < 0 then 0 else 1 in
+      for j = start to Array.length c.lits - 1 do
+        let q = c.lits.(j) in
+        let v = Lit.var q in
+        if (not t.seen.(v)) && t.level.(v) > 0 then begin
+          var_bump t v;
+          t.seen.(v) <- true;
+          if t.level.(v) >= decision_level t then incr path_count
+          else begin
+            learnt := q :: !learnt;
+            if t.level.(v) > !btlevel then btlevel := t.level.(v)
+          end
+        end
+      done);
+    (* select next literal to look at *)
+    let rec next_seen i =
+      if t.seen.(Lit.var t.trail.(i)) then i else next_seen (i - 1)
+    in
+    index := next_seen !index;
+    p := t.trail.(!index);
+    index := !index - 1;
+    confl := t.reason.(Lit.var !p);
+    t.seen.(Lit.var !p) <- false;
+    decr path_count;
+    if !path_count <= 0 then continue_loop := false
+  done;
+  let learnt_lits = Array.of_list (Lit.neg !p :: !learnt) in
+  (* clear seen *)
+  Array.iter (fun l -> t.seen.(Lit.var l) <- false) learnt_lits;
+  (learnt_lits, !btlevel)
+
+(* -- clause management -- *)
+
+exception Trivially_sat
+
+(* Simplify a raw clause at level 0: drop false/duplicate literals; raises
+   [Trivially_sat] when the clause contains a true literal or [l, -l]. *)
+let simplify_clause t lits =
+  let tbl = Hashtbl.create (List.length lits) in
+  let out = ref [] in
+  List.iter
+    (fun l ->
+      ensure_var t (Lit.var l);
+      if value_lit t l = 1 then raise Trivially_sat
+      else if value_lit t l = 0 && t.level.(Lit.var l) = 0 then ()
+      else if Hashtbl.mem tbl (Lit.neg l) then raise Trivially_sat
+      else if not (Hashtbl.mem tbl l) then begin
+        Hashtbl.add tbl l ();
+        out := l :: !out
+      end)
+    lits;
+  List.rev !out
+
+let add_clause t lits =
+  if t.ok then begin
+    cancel_until t 0;
+    match simplify_clause t lits with
+    | exception Trivially_sat -> ()
+    | [] -> t.ok <- false
+    | [ l ] ->
+      enqueue t l None;
+      if propagate t <> None then t.ok <- false
+    | lits ->
+      let c = { lits = Array.of_list lits; activity = 0.0; learnt = false } in
+      t.clauses <- c :: t.clauses;
+      attach_clause t c
+  end
+
+let detach_clause t c =
+  let remove l =
+    t.watches.(l) <- List.filter (fun c' -> c' != c) t.watches.(l)
+  in
+  remove (Lit.neg c.lits.(0));
+  remove (Lit.neg c.lits.(1))
+
+let locked t c =
+  match t.reason.(Lit.var c.lits.(0)) with
+  | Some r -> r == c && value_lit t c.lits.(0) = 1
+  | None -> false
+
+let reduce_db t =
+  let learnts =
+    List.sort
+      (fun (a : clause) (b : clause) -> Stdlib.compare a.activity b.activity)
+      t.learnts
+  in
+  let n = List.length learnts in
+  let kept = ref [] and removed = ref 0 in
+  List.iteri
+    (fun i c ->
+      if (not (locked t c)) && (i < n / 2 || c.activity = 0.0) then begin
+        detach_clause t c;
+        incr removed
+      end
+      else kept := c :: !kept)
+    learnts;
+  t.learnts <- !kept
+
+(* -- search -- *)
+
+(* The Luby restart sequence: luby y x is y^(position of x in the sequence
+   1 1 2 1 1 2 4 ...). *)
+let luby y x =
+  let rec grow size seq =
+    if size < x + 1 then grow ((2 * size) + 1) (seq + 1) else (size, seq)
+  in
+  let rec shrink x size seq =
+    if size - 1 = x then seq
+    else
+      let size = (size - 1) / 2 in
+      shrink (x mod size) size (seq - 1)
+  in
+  let size, seq = grow 1 0 in
+  y ** float_of_int (shrink x size seq)
+
+let pick_branch_var t =
+  let rec go () =
+    if t.heap_size = 0 then -1
+    else begin
+      let v = heap_pop t in
+      if t.assign.(v) < 0 then v else go ()
+    end
+  in
+  go ()
+
+let record_learnt t lits btlevel =
+  (* [btlevel] has already been clamped to the root (assumption) level by
+     the caller *)
+  cancel_until t btlevel;
+  match Array.length lits with
+  | 1 -> enqueue t lits.(0) None
+  | _ ->
+    let c = { lits; activity = 0.0; learnt = true } in
+    (* watch the asserting literal and a literal from the backtrack level *)
+    let rec max_idx i best =
+      if i >= Array.length lits then best
+      else if t.level.(Lit.var lits.(i)) > t.level.(Lit.var lits.(best)) then
+        max_idx (i + 1) i
+      else max_idx (i + 1) best
+    in
+    let m = max_idx 2 1 in
+    let tmp = c.lits.(1) in
+    c.lits.(1) <- c.lits.(m);
+    c.lits.(m) <- tmp;
+    t.learnts <- c :: t.learnts;
+    attach_clause t c;
+    cla_bump t c;
+    enqueue t lits.(0) (Some c)
+
+(* Search below the assumption (root) level: backtracking never unassigns
+   the assumptions, and a conflict at or below the root level means UNSAT
+   under the current assumptions. *)
+let search t ~root_level ~max_conflicts_in_restart ~conflict_budget =
+  let conflicts_here = ref 0 in
+  let result = ref None in
+  while !result = None do
+    match propagate t with
+    | Some confl ->
+      t.conflicts <- t.conflicts + 1;
+      incr conflicts_here;
+      if decision_level t <= root_level then result := Some Unsat
+      else begin
+        let learnt, btlevel = analyze t confl in
+        record_learnt t learnt (max btlevel root_level);
+        var_decay t;
+        cla_decay t
+      end
+    | None ->
+      if conflict_budget > 0 && t.conflicts >= conflict_budget then begin
+        cancel_until t root_level;
+        result := Some Unknown
+      end
+      else if !conflicts_here >= max_conflicts_in_restart then begin
+        cancel_until t root_level;
+        result := Some Unknown (* restart marker; caller loops *)
+      end
+      else begin
+        if List.length t.learnts > max 2000 (2 * List.length t.clauses) then
+          reduce_db t;
+        let v = pick_branch_var t in
+        if v < 0 then result := Some Sat
+        else begin
+          t.decisions <- t.decisions + 1;
+          new_decision_level t;
+          enqueue t (Lit.of_var v ~negated:(not t.polarity.(v))) None
+        end
+      end
+  done;
+  (!result = Some Sat, !result = Some Unsat)
+
+let solve ?(conflict_budget = 0) ?(assumptions = []) t =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    (* push assumptions as successive decision levels *)
+    let rec push = function
+      | [] -> None
+      | l :: rest -> (
+        ensure_var t (Lit.var l);
+        match value_lit t l with
+        | 1 -> push rest
+        | 0 -> Some Unsat
+        | _ ->
+          new_decision_level t;
+          enqueue t l None;
+          (match propagate t with Some _ -> Some Unsat | None -> push rest))
+    in
+    match push assumptions with
+    | Some r ->
+      cancel_until t 0;
+      r
+    | None ->
+      (* assumptions stay on the trail below [root_level] for the whole
+         solve; search never backtracks past them *)
+      let root_level = decision_level t in
+      let start_conflicts = t.conflicts in
+      let budget =
+        if conflict_budget > 0 then start_conflicts + conflict_budget else 0
+      in
+      let rec restart_loop i =
+        let max_c = int_of_float (luby 2.0 i *. 100.0) in
+        let sat, unsat =
+          search t ~root_level ~max_conflicts_in_restart:max_c
+            ~conflict_budget:budget
+        in
+        if sat then Sat
+        else if unsat then Unsat
+        else if budget > 0 && t.conflicts >= budget then Unknown
+        else restart_loop (i + 1)
+      in
+      let r = restart_loop 0 in
+      (match r with
+      | Sat -> r (* keep the model; caller reads it before further solving *)
+      | Unsat | Unknown ->
+        cancel_until t 0;
+        r)
+  end
+
+(* Model access: only meaningful right after [solve] returned [Sat]. *)
+let model_value t v = t.assign.(v) = 1
+
+let pp_stats fmt t =
+  Format.fprintf fmt "vars=%d clauses=%d conflicts=%d decisions=%d props=%d"
+    t.num_vars (num_clauses t) t.conflicts t.decisions t.propagations

@@ -1,0 +1,48 @@
+(** A CDCL SAT solver in the MiniSat tradition.
+
+    Features: two-watched-literal propagation, first-UIP clause learning,
+    VSIDS branching with phase saving, Luby restarts, activity-based
+    deletion of learnt clauses, incremental solving under assumptions
+    (with a root-level floor so backtracking never unassigns assumptions)
+    and per-call conflict budgets.
+
+    Used by SAT-based exact synthesis (paper §2.2.2), combinational
+    equivalence checking and SAT sweeping. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate the next variable; variables are dense integers from 0. *)
+
+val ensure_var : t -> int -> unit
+(** Make sure variables [0 .. v] exist. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_conflicts : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause; performs level-0 simplification.  Adding the empty clause
+    (or a clause that simplifies away entirely) makes the instance
+    unsatisfiable. *)
+
+val solve : ?conflict_budget:int -> ?assumptions:Lit.t list -> t -> result
+(** Solve the current formula.
+
+    - [assumptions] are temporarily asserted literals; [Unsat] then means
+      "unsatisfiable under the assumptions".
+    - [conflict_budget] > 0 bounds the search; exceeding it yields
+      [Unknown] (never a wrong answer).
+
+    After [Sat], the model is available through {!model_value} until the
+    next [solve] or [add_clause]. *)
+
+val model_value : t -> int -> bool
+(** Value of a variable in the model; meaningful only right after a [Sat]
+    answer. *)
+
+val pp_stats : Format.formatter -> t -> unit

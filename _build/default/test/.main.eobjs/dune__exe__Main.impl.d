@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_algo Test_exact Test_extensions Test_flow Test_kitty Test_lsgen Test_lsio Test_network Test_props Test_satkit

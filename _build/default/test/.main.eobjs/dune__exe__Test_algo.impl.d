@@ -1,0 +1,1 @@
+test/test_algo.ml: Aig Alcotest Algo Array Convert Exact Hashtbl Intf Kitty Klut Lazy List Mig Network Random String Tt Xag Xmg

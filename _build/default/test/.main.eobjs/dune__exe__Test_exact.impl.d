@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Algo Array Exact Format Fun Hashtbl Int64 Kitty Lazy Network Printf QCheck QCheck_alcotest String Tt

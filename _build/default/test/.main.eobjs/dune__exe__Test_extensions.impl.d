@@ -1,0 +1,1 @@
+test/test_extensions.ml: Aig Alcotest Algo Array Convert Exact Flow Int64 Kitty List Lsgen Mig Network Printf QCheck QCheck_alcotest Random String Tt Xag

@@ -1,0 +1,1 @@
+test/test_flow.ml: Aig Alcotest Algo Convert Exact Flow List Lsgen Mig Network Printf String Xag Xmg

@@ -1,0 +1,1 @@
+test/test_kitty.ml: Alcotest Array Cube Factor Hashtbl Int64 Isop Kitty List Npn Printf QCheck QCheck_alcotest Random Tt

@@ -1,0 +1,1 @@
+test/test_lsgen.ml: Aig Alcotest Algo Array Float Kind Kitty List Lsgen Mig Network Printf Random String Xag

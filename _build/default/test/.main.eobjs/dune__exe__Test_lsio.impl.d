@@ -1,0 +1,1 @@
+test/test_lsio.ml: Aig Alcotest Algo Filename Fun Kitty Klut List Lsgen Lsio Network String Sys Tt

@@ -1,0 +1,1 @@
+test/test_network.ml: Aig Alcotest Algo Array Build Convert Int64 Intf Kind Kitty Klut List Mig Network Random Signal Tt Xag Xmg

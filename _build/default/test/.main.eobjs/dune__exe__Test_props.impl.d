@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Dimacs Filename Fun Int64 Kitty List Lit Props QCheck QCheck_alcotest Satkit Sys Tt

@@ -1,0 +1,1 @@
+test/test_satkit.ml: Alcotest Gen List Lit QCheck QCheck_alcotest Random Satkit Solver

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "genlog"
+    [
+      ("kitty", Test_kitty.suite);
+      ("network", Test_network.suite);
+      ("satkit", Test_satkit.suite);
+      ("exact", Test_exact.suite);
+      ("algo", Test_algo.suite);
+      ("lsgen", Test_lsgen.suite);
+      ("lsio", Test_lsio.suite);
+      ("flow", Test_flow.suite);
+      ("extensions", Test_extensions.suite);
+      ("props", Test_props.suite);
+    ]

@@ -1,0 +1,577 @@
+(* Tests for the generic algorithm layer: depth, simulation, cuts,
+   windows, rewriting, resubstitution, refactoring, balancing, LUT mapping
+   and CEC.  The central invariant — every optimization pass preserves
+   functional equivalence — is checked with SAT CEC on randomly generated
+   networks for every representation. *)
+
+open Kitty
+open Network
+
+let tt_testable = Alcotest.testable Tt.pp Tt.equal
+
+module Sim_aig = Algo.Simulate.Make (Aig)
+module Depth_aig = Algo.Depth.Make (Aig)
+module Cuts_aig = Algo.Cuts.Make (Aig)
+module Mffc_aig = Algo.Mffc.Make (Aig)
+module Reconv_aig = Algo.Reconv.Make (Aig)
+module Cec_aig = Algo.Cec.Make (Aig) (Aig)
+
+(* -- helpers -- *)
+
+(* a & (b & (c & d)) with an xor output for spice *)
+let sample_aig () =
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t in
+  let c = Aig.create_pi t and d = Aig.create_pi t in
+  let cd = Aig.create_and t c d in
+  let bcd = Aig.create_and t b cd in
+  let abcd = Aig.create_and t a bcd in
+  Aig.create_po t abcd;
+  (t, (a, b, c, d))
+
+(* Deterministic random network builder, generic over the representation. *)
+module Random_net (N : Intf.NETWORK) = struct
+  let generate ~seed ~num_pis ~num_gates ~num_pos =
+    let rng = Random.State.make [| seed |] in
+    let t = N.create () in
+    let signals = ref [] in
+    for _ = 1 to num_pis do
+      signals := N.create_pi t :: !signals
+    done;
+    let pick () =
+      let l = !signals in
+      let s = List.nth l (Random.State.int rng (List.length l)) in
+      N.complement_if (Random.State.bool rng) s
+    in
+    for _ = 1 to num_gates do
+      let s =
+        match Random.State.int rng (if N.max_fanin >= 3 then 4 else 3) with
+        | 0 -> N.create_and t (pick ()) (pick ())
+        | 1 -> N.create_or t (pick ()) (pick ())
+        | 2 -> N.create_xor t (pick ()) (pick ())
+        | _ -> N.create_maj t (pick ()) (pick ()) (pick ())
+      in
+      signals := s :: !signals
+    done;
+    for _ = 1 to num_pos do
+      N.create_po t (pick ())
+    done;
+    t
+end
+
+(* -- depth (paper Algorithm 1) -- *)
+
+let test_depth () =
+  let t, _ = sample_aig () in
+  Alcotest.(check int) "chain depth 3" 3 (Depth_aig.depth t)
+
+(* -- simulation -- *)
+
+let test_simulate () =
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t and c = Aig.create_pi t in
+  Aig.create_po t (Aig.create_maj t a b c);
+  Aig.create_po t (Aig.complement (Aig.create_xor t a b));
+  let outs = Sim_aig.output_functions t in
+  Alcotest.(check tt_testable) "maj" (Tt.of_hex 3 "e8") outs.(0);
+  Alcotest.(check tt_testable) "xnor"
+    Tt.(~:(nth_var 3 0 ^: nth_var 3 1))
+    outs.(1)
+
+(* -- cuts -- *)
+
+let test_cuts () =
+  let t, _ = sample_aig () in
+  let r = Cuts_aig.enumerate t ~k:4 ~cut_limit:8 () in
+  let root = Aig.node_of_signal (Aig.po_at t 0) in
+  let cuts = Cuts_aig.cuts_of r root in
+  (* the 4-leaf cut {a,b,c,d} must be present with function a&b&c&d *)
+  let found =
+    List.exists
+      (fun cut ->
+        Array.length cut.Cuts_aig.leaves = 4
+        && Tt.equal cut.Cuts_aig.tt
+             Tt.(nth_var 4 0 &: nth_var 4 1 &: nth_var 4 2 &: nth_var 4 3))
+      cuts
+  in
+  Alcotest.(check bool) "4-and cut found" true found;
+  (* every cut function must agree with the root function restricted to the
+     cut leaves: verify via full simulation *)
+  let values = Sim_aig.simulate_exhaustive t in
+  List.iter
+    (fun cut ->
+      let args = Array.map (fun l -> values.(l)) cut.Cuts_aig.leaves in
+      let recomposed = Tt.apply cut.Cuts_aig.tt args in
+      Alcotest.(check tt_testable) "cut function correct" values.(root) recomposed)
+    cuts
+
+let test_cut_count_limit () =
+  let module R = Random_net (Aig) in
+  let t = R.generate ~seed:7 ~num_pis:6 ~num_gates:60 ~num_pos:4 in
+  let r = Cuts_aig.enumerate t ~k:4 ~cut_limit:6 () in
+  Aig.foreach_gate t (fun n ->
+      let c = List.length (Cuts_aig.cuts_of r n) in
+      if c > 6 then Alcotest.failf "node %d has %d cuts" n c)
+
+(* -- MFFC -- *)
+
+let test_mffc () =
+  let t, _ = sample_aig () in
+  let root = Aig.node_of_signal (Aig.po_at t 0) in
+  Alcotest.(check int) "mffc of root covers the whole chain" 3
+    (Mffc_aig.size t root);
+  let leaves = Mffc_aig.leaves t root in
+  Alcotest.(check int) "4 leaves" 4 (List.length leaves)
+
+(* -- reconvergence-driven cuts -- *)
+
+let test_reconv () =
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t and c = Aig.create_pi t in
+  (* reconvergent: f = (a&b) | (a&c) *)
+  let ab = Aig.create_and t a b in
+  let ac = Aig.create_and t a c in
+  let f = Aig.create_or t ab ac in
+  Aig.create_po t f;
+  let leaves = Reconv_aig.compute t ~max_leaves:8 (Aig.node_of_signal f) in
+  (* expansion should reach the PIs: {a, b, c} *)
+  Alcotest.(check int) "3 leaves" 3 (List.length leaves);
+  List.iter
+    (fun l -> Alcotest.(check bool) "leaf is pi" true (Aig.is_pi t l))
+    leaves
+
+(* -- equivalence framework -- *)
+
+let cec_equal name a b =
+  match Cec_aig.check a b with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ -> Alcotest.fail (name ^ ": counterexample found")
+  | Algo.Cec.Unknown -> Alcotest.fail (name ^ ": cec unknown")
+
+let test_cec_basic () =
+  let t1, _ = sample_aig () in
+  let t2 = Aig.create () in
+  let a = Aig.create_pi t2 and b = Aig.create_pi t2 in
+  let c = Aig.create_pi t2 and d = Aig.create_pi t2 in
+  (* balanced version of the same function *)
+  Aig.create_po t2 (Aig.create_and t2 (Aig.create_and t2 a b) (Aig.create_and t2 c d));
+  cec_equal "balanced vs chain" t1 t2;
+  (* a genuinely different function must yield a valid counterexample *)
+  let t3 = Aig.create () in
+  let a3 = Aig.create_pi t3 and b3 = Aig.create_pi t3 in
+  let c3 = Aig.create_pi t3 and d3 = Aig.create_pi t3 in
+  Aig.create_po t3 (Aig.create_and t3 (Aig.create_or t3 a3 b3) (Aig.create_and t3 c3 d3));
+  (match Cec_aig.check t1 t3 with
+  | Algo.Cec.Counterexample cex ->
+    Alcotest.(check int) "cex width" 4 (Array.length cex);
+    (* the counterexample must actually distinguish the two networks *)
+    let eval t =
+      let pis = Array.map (fun v -> if v then Tt.const1 0 else Tt.const0 0) cex in
+      let module S = Algo.Simulate.Make (Aig) in
+      let values = S.simulate t pis in
+      S.output_values t values
+    in
+    let o1 = eval t1 and o3 = eval t3 in
+    Alcotest.(check bool) "cex distinguishes" false (Tt.equal o1.(0) o3.(0))
+  | Algo.Cec.Equivalent | Algo.Cec.Unknown -> Alcotest.fail "expected cex")
+
+let test_cec_cross_representation () =
+  let module Conv = Convert.Make (Aig) (Mig) in
+  let module Cec_am = Algo.Cec.Make (Aig) (Mig) in
+  let module R = Random_net (Aig) in
+  let t = R.generate ~seed:21 ~num_pis:5 ~num_gates:40 ~num_pos:3 in
+  let m = Conv.convert t in
+  (match Cec_am.check t m with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "aig->mig conversion not equivalent")
+
+(* -- balancing -- *)
+
+let test_balance_reduces_depth () =
+  let t, _ = sample_aig () in
+  let before = Aig.num_gates t in
+  let module B = Algo.Balance.Make (Aig) in
+  let t_ref, _ = sample_aig () in
+  let subs = B.run t in
+  Alcotest.(check bool) "balanced something" true (subs > 0);
+  Alcotest.(check int) "depth reduced to 2" 2 (Depth_aig.depth t);
+  Alcotest.(check bool) "no size increase" true (Aig.num_gates t <= before);
+  cec_equal "balance preserves function" t_ref t
+
+let test_balance_mig () =
+  (* an or-chain in a MIG: maj(1, a, maj(1, b, maj(1, c, d))) *)
+  let t = Mig.create () in
+  let a = Mig.create_pi t and b = Mig.create_pi t in
+  let c = Mig.create_pi t and d = Mig.create_pi t in
+  Mig.create_po t (Mig.create_or t a (Mig.create_or t b (Mig.create_or t c d)));
+  let module Dm = Algo.Depth.Make (Mig) in
+  let module Bm = Algo.Balance.Make (Mig) in
+  let module Cm = Algo.Cec.Make (Mig) (Mig) in
+  let t_ref = Mig.create () in
+  let a' = Mig.create_pi t_ref and b' = Mig.create_pi t_ref in
+  let c' = Mig.create_pi t_ref and d' = Mig.create_pi t_ref in
+  Mig.create_po t_ref
+    (Mig.create_or t_ref a' (Mig.create_or t_ref b' (Mig.create_or t_ref c' d')));
+  Alcotest.(check int) "initial depth 3" 3 (Dm.depth t);
+  ignore (Bm.run t);
+  Alcotest.(check int) "balanced depth 2" 2 (Dm.depth t);
+  (match Cm.check t_ref t with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "mig balance broke the function")
+
+(* -- rewriting -- *)
+
+let test_rewrite_reduces () =
+  (* redundant structure and(a, and(a, b)): the {a,b} cut computes a&b, so
+     the database replacement is the inner gate itself — gain 1 through
+     DAG-aware sharing *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t in
+  let t1 = Aig.create_and t a b in
+  let t2 = Aig.create_and t a t1 in
+  Aig.create_po t t2;
+  let module Cl = Convert.Cleanup (Aig) in
+  let t_ref = Cl.cleanup t in
+  let module Rw = Algo.Rewrite.Make (Aig) in
+  let db = Exact.Database.create Exact.Synth.aig_config in
+  let before = Aig.num_gates t in
+  let gain = Rw.run t ~db () in
+  Alcotest.(check bool) "gain positive" true (gain > 0);
+  Alcotest.(check bool) "fewer gates" true (Aig.num_gates t < before);
+  cec_equal "rewrite preserves function" t_ref t
+
+(* -- resubstitution -- *)
+
+let test_resub_shares () =
+  (* f = (a&b)|(a&c) with divisor (b|c) available: and 1-resub finds
+     f = a & (b|c), freeing two gates for one *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t and c = Aig.create_pi t in
+  let ab = Aig.create_and t a b in
+  let ac = Aig.create_and t a c in
+  let f = Aig.create_or t ab ac in
+  let bc = Aig.create_or t b c in
+  Aig.create_po t f;
+  Aig.create_po t bc;
+  let module C = Convert.Cleanup (Aig) in
+  let t_ref = C.cleanup t in
+  let module Rs = Algo.Resub.Make (Aig) in
+  let before = Aig.num_gates t in
+  let subs = Rs.run t ~kernel:Algo.Resub.And_or () in
+  Alcotest.(check bool) "resubstituted" true (subs > 0);
+  Alcotest.(check bool) "fewer gates" true (Aig.num_gates t < before);
+  cec_equal "resub preserves function" t_ref t
+
+(* -- refactoring -- *)
+
+let test_refactor_reduces () =
+  (* a redundant sum-of-products cone: f = ab + ab' (= a), built literally;
+     the collapsed MFFC function is the projection a *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t in
+  let ab = Aig.create_and t a b in
+  let ab' = Aig.create_and t a (Aig.complement b) in
+  let f = Aig.create_or t ab ab' in
+  Aig.create_po t f;
+  let module C = Convert.Cleanup (Aig) in
+  let t_ref = C.cleanup t in
+  let module Rf = Algo.Refactor.Make (Aig) in
+  let subs = Rf.run t () in
+  Alcotest.(check bool) "refactored" true (subs > 0);
+  Alcotest.(check int) "collapsed to a wire" 0 (Aig.num_gates t);
+  Alcotest.(check int) "po = a" a (Aig.po_at t 0);
+  cec_equal "refactor preserves function" t_ref t
+
+(* -- LUT mapping -- *)
+
+let test_lutmap () =
+  let module R = Random_net (Aig) in
+  let module L = Algo.Lutmap.Make (Aig) in
+  let module Cx = Algo.Cec.Make (Aig) (Klut) in
+  let t = R.generate ~seed:3 ~num_pis:6 ~num_gates:80 ~num_pos:4 in
+  let m = L.map t ~k:6 () in
+  Alcotest.(check bool) "mapping nonempty" true (m.L.lut_count > 0);
+  Alcotest.(check bool) "fewer luts than gates" true
+    (m.L.lut_count <= Aig.num_gates t);
+  (match Cx.check t m.L.klut with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "lut mapping not equivalent");
+  (* every LUT respects the fanin bound *)
+  Klut.foreach_gate m.L.klut (fun n ->
+      Alcotest.(check bool) "lut arity <= 6" true (Klut.fanin_size m.L.klut n <= 6))
+
+(* -- equivalence preservation on random networks, all passes, all reps -- *)
+
+let shared_aig_db = lazy (Exact.Database.create Exact.Synth.aig_config)
+let shared_xag_db = lazy (Exact.Database.create Exact.Synth.xag_config)
+let shared_mig_db = lazy (Exact.Database.create Exact.Synth.mig_config)
+
+let preservation_test (type t) ~name
+    (module N : Intf.NETWORK with type t = t) ~(pass : t -> unit) ~seeds () =
+  let module R = Random_net (N) in
+  let module C = Algo.Cec.Make (N) (N) in
+  let module Cl = Convert.Cleanup (N) in
+  List.iter
+    (fun seed ->
+      let t = R.generate ~seed ~num_pis:5 ~num_gates:50 ~num_pos:4 in
+      let t_ref = Cl.cleanup t in
+      pass t;
+      (match N.check_integrity t with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "%s: seed %d integrity: %s" name seed
+          (String.concat "; " errs));
+      match C.check t_ref t with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ ->
+        Alcotest.failf "%s: seed %d produced a counterexample" name seed
+      | Algo.Cec.Unknown -> Alcotest.failf "%s: seed %d cec unknown" name seed)
+    seeds
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let test_preserve_rewrite_aig () =
+  let module Rw = Algo.Rewrite.Make (Aig) in
+  preservation_test ~name:"rewrite/aig" (module Aig)
+    ~pass:(fun t -> ignore (Rw.run t ~db:(Lazy.force shared_aig_db) ()))
+    ~seeds ()
+
+let test_preserve_rewrite_xag () =
+  let module Rw = Algo.Rewrite.Make (Xag) in
+  preservation_test ~name:"rewrite/xag" (module Xag)
+    ~pass:(fun t -> ignore (Rw.run t ~db:(Lazy.force shared_xag_db) ()))
+    ~seeds ()
+
+let test_preserve_rewrite_mig () =
+  let module Rw = Algo.Rewrite.Make (Mig) in
+  preservation_test ~name:"rewrite/mig" (module Mig)
+    ~pass:(fun t -> ignore (Rw.run t ~db:(Lazy.force shared_mig_db) ()))
+    ~seeds:[ 1; 2; 3 ] ()
+
+let test_preserve_resub () =
+  let module Rs_a = Algo.Resub.Make (Aig) in
+  let module Rs_x = Algo.Resub.Make (Xag) in
+  let module Rs_m = Algo.Resub.Make (Mig) in
+  preservation_test ~name:"resub/aig" (module Aig)
+    ~pass:(fun t -> ignore (Rs_a.run t ~kernel:Algo.Resub.And_or ~max_inserted:2 ()))
+    ~seeds ();
+  preservation_test ~name:"resub/xag" (module Xag)
+    ~pass:(fun t -> ignore (Rs_x.run t ~kernel:Algo.Resub.And_or_xor ~max_inserted:2 ()))
+    ~seeds ();
+  preservation_test ~name:"resub/mig" (module Mig)
+    ~pass:(fun t -> ignore (Rs_m.run t ~kernel:Algo.Resub.Maj3 ()))
+    ~seeds ()
+
+let test_preserve_refactor () =
+  let module Rf_a = Algo.Refactor.Make (Aig) in
+  let module Rf_x = Algo.Refactor.Make (Xag) in
+  let module Rf_m = Algo.Refactor.Make (Mig) in
+  preservation_test ~name:"refactor/aig" (module Aig)
+    ~pass:(fun t -> ignore (Rf_a.run t ())) ~seeds ();
+  preservation_test ~name:"refactor/xag" (module Xag)
+    ~pass:(fun t -> ignore (Rf_x.run t ())) ~seeds ();
+  preservation_test ~name:"refactor/mig" (module Mig)
+    ~pass:(fun t -> ignore (Rf_m.run t ())) ~seeds ()
+
+let test_preserve_balance () =
+  let module B_a = Algo.Balance.Make (Aig) in
+  let module B_x = Algo.Balance.Make (Xag) in
+  let module B_m = Algo.Balance.Make (Mig) in
+  preservation_test ~name:"balance/aig" (module Aig)
+    ~pass:(fun t -> ignore (B_a.run t)) ~seeds ();
+  preservation_test ~name:"balance/xag" (module Xag)
+    ~pass:(fun t -> ignore (B_x.run t)) ~seeds ();
+  preservation_test ~name:"balance/mig" (module Mig)
+    ~pass:(fun t -> ignore (B_m.run t)) ~seeds ()
+
+let suite =
+  [
+    Alcotest.test_case "depth" `Quick test_depth;
+    Alcotest.test_case "simulate" `Quick test_simulate;
+    Alcotest.test_case "cuts: functions correct" `Quick test_cuts;
+    Alcotest.test_case "cuts: limit respected" `Quick test_cut_count_limit;
+    Alcotest.test_case "mffc" `Quick test_mffc;
+    Alcotest.test_case "reconvergence-driven cut" `Quick test_reconv;
+    Alcotest.test_case "cec basic + counterexample" `Quick test_cec_basic;
+    Alcotest.test_case "cec across representations" `Quick test_cec_cross_representation;
+    Alcotest.test_case "balance reduces depth" `Quick test_balance_reduces_depth;
+    Alcotest.test_case "balance mig or-chain" `Quick test_balance_mig;
+    Alcotest.test_case "rewrite reduces" `Quick test_rewrite_reduces;
+    Alcotest.test_case "resub shares divisor" `Quick test_resub_shares;
+    Alcotest.test_case "refactor reduces" `Quick test_refactor_reduces;
+    Alcotest.test_case "lut mapping" `Quick test_lutmap;
+    Alcotest.test_case "preservation: rewrite aig" `Slow test_preserve_rewrite_aig;
+    Alcotest.test_case "preservation: rewrite xag" `Slow test_preserve_rewrite_xag;
+    Alcotest.test_case "preservation: rewrite mig" `Slow test_preserve_rewrite_mig;
+    Alcotest.test_case "preservation: resub" `Slow test_preserve_resub;
+    Alcotest.test_case "preservation: refactor" `Slow test_preserve_refactor;
+    Alcotest.test_case "preservation: balance" `Slow test_preserve_balance;
+  ]
+
+(* -- additional coverage -- *)
+
+let test_cuts_k6 () =
+  let module R = Random_net (Aig) in
+  let t = R.generate ~seed:9 ~num_pis:8 ~num_gates:60 ~num_pos:4 in
+  let r = Cuts_aig.enumerate t ~k:6 ~cut_limit:8 () in
+  let values = Sim_aig.simulate_exhaustive t in
+  Aig.foreach_gate t (fun n ->
+      List.iter
+        (fun cut ->
+          Alcotest.(check bool) "leaf bound" true
+            (Array.length cut.Cuts_aig.leaves <= 6);
+          let args = Array.map (fun l -> values.(l)) cut.Cuts_aig.leaves in
+          let recomposed = Tt.apply cut.Cuts_aig.tt args in
+          if not (Tt.equal recomposed values.(n)) then
+            Alcotest.failf "k=6 cut function wrong at node %d" n)
+        (Cuts_aig.cuts_of r n))
+
+let test_cuts_mig () =
+  (* cut functions across a representation with constant fanins *)
+  let module R = Random_net (Mig) in
+  let module Cm = Algo.Cuts.Make (Mig) in
+  let module Sm = Algo.Simulate.Make (Mig) in
+  let t = R.generate ~seed:4 ~num_pis:5 ~num_gates:40 ~num_pos:3 in
+  let r = Cm.enumerate t ~k:4 ~cut_limit:6 () in
+  let values = Sm.simulate_exhaustive t in
+  Mig.foreach_gate t (fun n ->
+      List.iter
+        (fun cut ->
+          let args = Array.map (fun l -> values.(l)) cut.Cm.leaves in
+          let recomposed = Tt.apply cut.Cm.tt args in
+          if not (Tt.equal recomposed values.(n)) then
+            Alcotest.failf "mig cut function wrong at node %d" n)
+        (Cm.cuts_of r n))
+
+let test_window_divisors () =
+  (* side divisors must not be in the root's TFO and must be simulatable *)
+  let module R = Random_net (Aig) in
+  let module W = Algo.Window.Make (Aig) in
+  let t = R.generate ~seed:15 ~num_pis:6 ~num_gates:80 ~num_pos:4 in
+  Aig.foreach_gate t (fun n ->
+      if Aig.ref_count t n > 0 then begin
+        let leaves = Reconv_aig.compute t ~max_leaves:8 n in
+        if leaves <> [] then begin
+          let w = W.of_cut t n leaves in
+          let divisors = W.divisors t w ~max:20 in
+          Alcotest.(check bool) "root not a divisor" true
+            (not (List.mem n divisors));
+          let values = W.simulate t w in
+          W.simulate_divisors t w values divisors;
+          List.iter
+            (fun d ->
+              Alcotest.(check bool) "divisor simulated" true
+                (Hashtbl.mem values d))
+            divisors
+        end
+      end)
+
+let test_lutmap_k4 () =
+  let module R = Random_net (Aig) in
+  let module L = Algo.Lutmap.Make (Aig) in
+  let module Cx = Algo.Cec.Make (Aig) (Klut) in
+  let t = R.generate ~seed:19 ~num_pis:6 ~num_gates:100 ~num_pos:4 in
+  let m = L.map t ~k:4 () in
+  Klut.foreach_gate m.L.klut (fun n ->
+      Alcotest.(check bool) "lut arity <= 4" true (Klut.fanin_size m.L.klut n <= 4));
+  match Cx.check t m.L.klut with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "k=4 mapping not equivalent"
+
+let test_lutmap_of_mig () =
+  (* LUT mapping is generic: map a MIG *)
+  let module R = Random_net (Mig) in
+  let module L = Algo.Lutmap.Make (Mig) in
+  let module Cx = Algo.Cec.Make (Mig) (Klut) in
+  let t = R.generate ~seed:28 ~num_pis:6 ~num_gates:60 ~num_pos:3 in
+  let m = L.map t ~k:6 () in
+  Alcotest.(check bool) "nonempty" true (m.L.lut_count > 0);
+  match Cx.check t m.L.klut with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "mig mapping not equivalent"
+
+let test_depth_klut () =
+  let module R = Random_net (Aig) in
+  let module L = Algo.Lutmap.Make (Aig) in
+  let t = R.generate ~seed:3 ~num_pis:6 ~num_gates:80 ~num_pos:4 in
+  let m = L.map t ~k:6 () in
+  let module Dk = Algo.Depth.Make (Klut) in
+  Alcotest.(check int) "depth consistent" m.L.depth (Dk.depth m.L.klut);
+  Alcotest.(check bool) "depth below aig depth" true
+    (m.L.depth <= Depth_aig.depth t)
+
+let test_cec_budget_unknown () =
+  (* a large inequivalent pair with a 1-conflict budget must not claim
+     equivalence *)
+  let module R = Random_net (Aig) in
+  let t1 = R.generate ~seed:51 ~num_pis:8 ~num_gates:150 ~num_pos:2 in
+  let t2 = R.generate ~seed:52 ~num_pis:8 ~num_gates:150 ~num_pos:2 in
+  match Cec_aig.check ~conflict_budget:1 t1 t2 with
+  | Algo.Cec.Equivalent -> Alcotest.fail "different seeds equivalent?"
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown -> ()
+
+let test_fraig_then_rewrite_chain () =
+  (* passes compose: fraig + rewrite + resub + balance in sequence *)
+  let module R = Random_net (Aig) in
+  let module Fr = Algo.Fraig.Make (Aig) in
+  let module Rw = Algo.Rewrite.Make (Aig) in
+  let module Rs = Algo.Resub.Make (Aig) in
+  let module B = Algo.Balance.Make (Aig) in
+  let module Cl = Convert.Cleanup (Aig) in
+  let t = R.generate ~seed:61 ~num_pis:6 ~num_gates:120 ~num_pos:5 in
+  let reference = Cl.cleanup t in
+  ignore (Fr.run t ());
+  ignore (Rw.run t ~db:(Lazy.force shared_aig_db) ());
+  ignore (Rs.run t ~kernel:Algo.Resub.And_or ~max_inserted:2 ());
+  ignore (B.run t);
+  (match Aig.check_integrity t with
+  | [] -> ()
+  | errs -> Alcotest.failf "integrity: %s" (String.concat "; " errs));
+  cec_equal "composed passes" reference t
+
+let test_preserve_xmg_passes () =
+  (* the fourth representation (extension) through the same algorithms *)
+  let module Rw = Algo.Rewrite.Make (Xmg) in
+  let module Rs = Algo.Resub.Make (Xmg) in
+  let module B = Algo.Balance.Make (Xmg) in
+  let db = Exact.Database.create Exact.Synth.xmg_config in
+  preservation_test ~name:"rewrite/xmg" (module Xmg)
+    ~pass:(fun t -> ignore (Rw.run t ~db ()))
+    ~seeds:[ 1; 2 ] ();
+  preservation_test ~name:"resub/xmg" (module Xmg)
+    ~pass:(fun t -> ignore (Rs.run t ~kernel:Algo.Resub.Maj3 ()))
+    ~seeds:[ 1; 2 ] ();
+  preservation_test ~name:"balance/xmg" (module Xmg)
+    ~pass:(fun t -> ignore (B.run t))
+    ~seeds:[ 1; 2 ] ()
+
+let test_mffc_respects_po_refs () =
+  (* a node driving a PO directly is referenced and not inside any MFFC *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t and c = Aig.create_pi t in
+  let ab = Aig.create_and t a b in
+  let f = Aig.create_and t ab c in
+  Aig.create_po t f;
+  Aig.create_po t ab;
+  Alcotest.(check int) "mffc of f excludes ab" 1 (Mffc_aig.size t (Aig.node_of_signal f))
+
+let extra_suite =
+  [
+    Alcotest.test_case "cuts k=6 functions" `Quick test_cuts_k6;
+    Alcotest.test_case "cuts on mig" `Quick test_cuts_mig;
+    Alcotest.test_case "window divisors" `Quick test_window_divisors;
+    Alcotest.test_case "lutmap k=4" `Quick test_lutmap_k4;
+    Alcotest.test_case "lutmap of mig" `Quick test_lutmap_of_mig;
+    Alcotest.test_case "depth of klut mapping" `Quick test_depth_klut;
+    Alcotest.test_case "cec budget" `Quick test_cec_budget_unknown;
+    Alcotest.test_case "composed passes" `Quick test_fraig_then_rewrite_chain;
+    Alcotest.test_case "preservation: xmg passes" `Slow test_preserve_xmg_passes;
+    Alcotest.test_case "mffc respects po refs" `Quick test_mffc_respects_po_refs;
+  ]
+
+let suite = suite @ extra_suite

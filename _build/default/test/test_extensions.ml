@@ -1,0 +1,407 @@
+(* Tests for the extension features: fence-based exact synthesis, MIG
+   algebraic depth rewriting, and the specialized AIG rewriting path. *)
+
+open Kitty
+open Network
+
+let tt_testable = Alcotest.testable Tt.pp Tt.equal
+
+(* -- fences -- *)
+
+let test_fence_enumeration () =
+  (* compositions of r: 2^(r-1) fences *)
+  Alcotest.(check int) "fences of 1" 1 (List.length (Exact.Synth.fences 1));
+  Alcotest.(check int) "fences of 3" 4 (List.length (Exact.Synth.fences 3));
+  Alcotest.(check int) "fences of 5" 16 (List.length (Exact.Synth.fences 5));
+  (* every fence is a valid level assignment: levels start at 0, are
+     monotone over gate indices, and increase by at most 1 *)
+  List.iter
+    (fun lv ->
+      Alcotest.(check int) "starts at level 0" 0 lv.(0);
+      Array.iteri
+        (fun i l ->
+          if i > 0 then
+            Alcotest.(check bool) "monotone" true
+              (l >= lv.(i - 1) && l <= lv.(i - 1) + 1))
+        lv)
+    (Exact.Synth.fences 5)
+
+let fence_config base = { base with Exact.Synth.strategy = Exact.Synth.Fences }
+
+let test_fence_synthesis_agrees () =
+  (* fence-based search must find the same optimal sizes *)
+  let cases =
+    [
+      Tt.(nth_var 3 0 &: nth_var 3 1 &: nth_var 3 2);
+      Tt.maj (Tt.nth_var 3 0) (Tt.nth_var 3 1) (Tt.nth_var 3 2);
+      Tt.(nth_var 3 0 ^: nth_var 3 1);
+      Tt.ite (Tt.nth_var 3 0) (Tt.nth_var 3 1) (Tt.nth_var 3 2);
+    ]
+  in
+  List.iter
+    (fun f ->
+      let size r =
+        match r with
+        | Exact.Synth.Chain c -> Exact.Chain.size c
+        | Exact.Synth.Const _ | Exact.Synth.Projection _ -> 0
+        | Exact.Synth.Failed -> -1
+      in
+      let inc = Exact.Synth.synthesize Exact.Synth.xag_config f in
+      let fen =
+        Exact.Synth.synthesize (fence_config Exact.Synth.xag_config) f
+      in
+      Alcotest.(check int)
+        ("fence = incremental for " ^ Tt.to_hex f)
+        (size inc) (size fen);
+      (match fen with
+      | Exact.Synth.Chain c ->
+        Alcotest.(check tt_testable) "fence chain simulates" f
+          (Exact.Chain.simulate c)
+      | Exact.Synth.Const _ | Exact.Synth.Projection _ | Exact.Synth.Failed ->
+        ()))
+    cases
+
+let prop_fence_sound =
+  QCheck.Test.make ~name:"fence synthesis simulates back (3 vars)" ~count:25
+    (QCheck.int_bound 255)
+    (fun v ->
+      let f = Tt.of_int64 3 (Int64.of_int v) in
+      match Exact.Synth.synthesize (fence_config Exact.Synth.aig_config) f with
+      | Exact.Synth.Const b -> Tt.equal f (if b then Tt.const1 3 else Tt.const0 3)
+      | Exact.Synth.Projection (i, c) ->
+        let p = Tt.nth_var 3 i in
+        Tt.equal f (if c then Tt.( ~: ) p else p)
+      | Exact.Synth.Chain c -> Tt.equal f (Exact.Chain.simulate c)
+      | Exact.Synth.Failed -> false)
+
+(* -- MIG algebraic depth rewriting -- *)
+
+let test_mig_algebraic_chain () =
+  (* a linear and-chain: maj(0,a,maj(0,b,maj(0,c,d))) has depth 3; the
+     associativity rule rebalances it *)
+  let t = Mig.create () in
+  let a = Mig.create_pi t and b = Mig.create_pi t in
+  let c = Mig.create_pi t and d = Mig.create_pi t in
+  Mig.create_po t
+    (Mig.create_and t a (Mig.create_and t b (Mig.create_and t c d)));
+  let module Dm = Algo.Depth.Make (Mig) in
+  let module Cm = Algo.Cec.Make (Mig) (Mig) in
+  let module Cl = Convert.Cleanup (Mig) in
+  let reference = Cl.cleanup t in
+  Alcotest.(check int) "initial depth 3" 3 (Dm.depth t);
+  let stats = Algo.Mig_algebraic.run t () in
+  Alcotest.(check bool) "applied associativity" true
+    (stats.Algo.Mig_algebraic.associativity > 0);
+  Alcotest.(check bool) "depth reduced" true (Dm.depth t < 3);
+  match Cm.check reference t with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "mig algebraic rewriting broke the function"
+
+let test_mig_algebraic_adder_depth () =
+  (* the paper's flagship MIG result: carry chains get much shallower *)
+  let module S = Lsgen.Suite.Make (Mig) in
+  let t = S.build "adder" in
+  let module Dm = Algo.Depth.Make (Mig) in
+  let before = Dm.depth t in
+  let gates_before = Mig.num_gates t in
+  let _ = Algo.Mig_algebraic.run t ~size_budget:(2 * gates_before) () in
+  let after = Dm.depth t in
+  Alcotest.(check bool)
+    (Printf.sprintf "adder depth %d -> %d" before after)
+    true (after < before);
+  match Mig.check_integrity t with
+  | [] -> ()
+  | errs -> Alcotest.failf "integrity: %s" (String.concat "; " errs)
+
+let test_mig_algebraic_random_preserves () =
+  let module Cm = Algo.Cec.Make (Mig) (Mig) in
+  let module Cl = Convert.Cleanup (Mig) in
+  let rng_seeds = [ 11; 12; 13 ] in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let t = Mig.create () in
+      let signals = ref [] in
+      for _ = 1 to 5 do
+        signals := Mig.create_pi t :: !signals
+      done;
+      let pick () =
+        let l = !signals in
+        Mig.complement_if (Random.State.bool rng)
+          (List.nth l (Random.State.int rng (List.length l)))
+      in
+      for _ = 1 to 40 do
+        signals := Mig.create_maj t (pick ()) (pick ()) (pick ()) :: !signals
+      done;
+      for _ = 1 to 3 do
+        Mig.create_po t (pick ())
+      done;
+      let reference = Cl.cleanup t in
+      let _ = Algo.Mig_algebraic.run t () in
+      (match Mig.check_integrity t with
+      | [] -> ()
+      | errs -> Alcotest.failf "seed %d integrity: %s" seed (String.concat "; " errs));
+      match Cm.check reference t with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+        Alcotest.failf "seed %d: function changed" seed)
+    rng_seeds
+
+(* -- specialized AIG rewriting (layer 4) -- *)
+
+let test_specialized_cut_functions () =
+  (* the packed-int cut enumeration computes the same functions as the
+     generic one: compare against full simulation *)
+  let module S = Lsgen.Suite.Make (Aig) in
+  let module Sim = Algo.Simulate.Make (Aig) in
+  let t = S.build "ctrl" in
+  let cuts = Algo.Rewrite_aig.enumerate t ~cut_limit:8 in
+  let values = Sim.simulate_exhaustive t in
+  Aig.foreach_gate t (fun n ->
+      List.iter
+        (fun (cut : Algo.Rewrite_aig.cut) ->
+          let k = Array.length cut.Algo.Rewrite_aig.leaves in
+          let mask = (1 lsl (1 lsl k)) - 1 in
+          let f = Algo.Rewrite_aig.tt_of_int k (cut.Algo.Rewrite_aig.tt land mask) in
+          let args = Array.map (fun l -> values.(l)) cut.Algo.Rewrite_aig.leaves in
+          let recomposed = Tt.apply f args in
+          if not (Tt.equal recomposed values.(n)) then
+            Alcotest.failf "specialized cut function wrong at node %d" n)
+        cuts.(n))
+
+let test_specialized_rewrite_preserves () =
+  let module S = Lsgen.Suite.Make (Aig) in
+  let module C = Algo.Cec.Make (Aig) (Aig) in
+  let module Cl = Convert.Cleanup (Aig) in
+  let t = S.build "int2float" in
+  let reference = Cl.cleanup t in
+  let db = Exact.Database.create Exact.Synth.aig_config in
+  let gain = Algo.Rewrite_aig.run t ~db () in
+  Alcotest.(check bool) "some gain" true (gain > 0);
+  match C.check reference t with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "specialized rewrite broke the function"
+
+let suite =
+  [
+    Alcotest.test_case "fence enumeration" `Quick test_fence_enumeration;
+    Alcotest.test_case "fence synthesis agrees" `Quick test_fence_synthesis_agrees;
+    QCheck_alcotest.to_alcotest prop_fence_sound;
+    Alcotest.test_case "mig algebraic: and-chain" `Quick test_mig_algebraic_chain;
+    Alcotest.test_case "mig algebraic: adder depth" `Quick test_mig_algebraic_adder_depth;
+    Alcotest.test_case "mig algebraic preserves function" `Slow test_mig_algebraic_random_preserves;
+    Alcotest.test_case "specialized cut functions" `Quick test_specialized_cut_functions;
+    Alcotest.test_case "specialized rewrite preserves" `Quick test_specialized_rewrite_preserves;
+  ]
+
+(* -- FRAIG functional reduction -- *)
+
+let test_fraig_merges_duplicates () =
+  (* two structurally different, functionally equal cones: xor as
+     and/or-mix vs the mux form — structural hashing cannot merge them,
+     SAT sweeping must *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t in
+  let x1 =
+    Aig.create_and t (Aig.create_or t a b) (Aig.complement (Aig.create_and t a b))
+  in
+  let x2 = Aig.create_ite t a (Aig.complement b) b in
+  Aig.create_po t x1;
+  Aig.create_po t x2;
+  let module Cl = Convert.Cleanup (Aig) in
+  let reference = Cl.cleanup t in
+  let module Fr = Algo.Fraig.Make (Aig) in
+  let stats = Fr.run t () in
+  Alcotest.(check bool) "at least one merge" true (stats.Fr.proved >= 1);
+  let module ClA = Convert.Cleanup (Aig) in
+  let t' = ClA.cleanup t in
+  Alcotest.(check bool) "gates reduced" true
+    (Aig.num_gates t' < Aig.num_gates reference);
+  Alcotest.(check int) "outputs now share a node"
+    (Aig.node_of_signal (Aig.po_at t 0))
+    (Aig.node_of_signal (Aig.po_at t 1));
+  let module C = Algo.Cec.Make (Aig) (Aig) in
+  match C.check reference t with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "fraig broke the function"
+
+let test_fraig_constant_detection () =
+  (* a node that is constant for non-obvious reasons: (a & b) & (a ^ b) = 0 *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t in
+  let f = Aig.create_and t (Aig.create_and t a b) (Aig.create_xor t a b) in
+  Aig.create_po t f;
+  let module Fr = Algo.Fraig.Make (Aig) in
+  let _ = Fr.run t () in
+  Alcotest.(check int) "po is constant false" (Aig.constant false) (Aig.po_at t 0)
+
+let test_fraig_preserves_random () =
+  let module Fr = Algo.Fraig.Make (Xag) in
+  let module C = Algo.Cec.Make (Xag) (Xag) in
+  let module Cl = Convert.Cleanup (Xag) in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let t = Xag.create () in
+      let signals = ref [] in
+      for _ = 1 to 5 do
+        signals := Xag.create_pi t :: !signals
+      done;
+      let pick () =
+        Xag.complement_if (Random.State.bool rng)
+          (List.nth !signals (Random.State.int rng (List.length !signals)))
+      in
+      for _ = 1 to 60 do
+        let s =
+          if Random.State.bool rng then Xag.create_and t (pick ()) (pick ())
+          else Xag.create_xor t (pick ()) (pick ())
+        in
+        signals := s :: !signals
+      done;
+      for _ = 1 to 4 do
+        Xag.create_po t (pick ())
+      done;
+      let reference = Cl.cleanup t in
+      let _ = Fr.run t () in
+      (match Xag.check_integrity t with
+      | [] -> ()
+      | errs -> Alcotest.failf "seed %d integrity: %s" seed (String.concat "; " errs));
+      match C.check reference t with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+        Alcotest.failf "fraig/xag seed %d: function changed" seed)
+    [ 31; 32; 33; 34 ]
+
+let test_fraig_in_script () =
+  let module S = Lsgen.Suite.Make (Aig) in
+  let module F = Flow.Engine.Make (Aig) in
+  let module C = Algo.Cec.Make (Aig) (Aig) in
+  let t = S.build "ctrl" in
+  let module Cl = Convert.Cleanup (Aig) in
+  let reference = Cl.cleanup t in
+  let env = Flow.Engine.aig_env () in
+  let optimized = F.run_script env t "fraig; rw; fraig" in
+  match C.check reference optimized with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "fraig script step broke the function"
+
+let fraig_suite =
+  [
+    Alcotest.test_case "fraig merges duplicates" `Quick test_fraig_merges_duplicates;
+    Alcotest.test_case "fraig constant detection" `Quick test_fraig_constant_detection;
+    Alcotest.test_case "fraig preserves (xag, random)" `Slow test_fraig_preserves_random;
+    Alcotest.test_case "fraig in a script" `Quick test_fraig_in_script;
+  ]
+
+let suite = suite @ fraig_suite
+
+(* -- observability don't-cares -- *)
+
+let test_odc_absorption () =
+  (* po = (a & b) | a  is just  a : the and-gate is unobservable when a=1,
+     and equals constant 0 on the care set a=0, so ODC-aware 0-resub
+     collapses it; care-oblivious resub cannot *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t in
+  let f = Aig.create_and t a b in
+  let g = Aig.create_or t f a in
+  Aig.create_po t g;
+  let module Cl = Convert.Cleanup (Aig) in
+  let reference = Cl.cleanup t in
+  let module Rs = Algo.Resub.Make (Aig) in
+  let with_odc = Rs.run t ~kernel:Algo.Resub.And_or ~use_odc:true () in
+  Alcotest.(check bool) "odc resub substitutes" true (with_odc > 0);
+  let module C = Algo.Cec.Make (Aig) (Aig) in
+  (match C.check reference t with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "odc resub broke the outputs");
+  let t' = Cl.cleanup t in
+  Alcotest.(check int) "collapsed to a wire" 0 (Aig.num_gates t')
+
+let test_odc_window_care () =
+  (* direct check of the care computation on the absorption example *)
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t in
+  let f = Aig.create_and t a b in
+  let g = Aig.create_or t f a in
+  Aig.create_po t g;
+  let module O = Algo.Odc.Make (Aig) in
+  let n = Aig.node_of_signal f in
+  let base = [ Aig.node_of_signal a; Aig.node_of_signal b ] in
+  match O.compute t n ~base_leaves:base () with
+  | None -> Alcotest.fail "odc window failed"
+  | Some w ->
+    (* leaves are (a, b); f is observable only when a = 0 *)
+    let expected = Kitty.Tt.(~:(nth_var 2 0)) in
+    Alcotest.(check (Alcotest.testable Kitty.Tt.pp Kitty.Tt.equal))
+      "care = !a" expected w.O.care
+
+let test_odc_resub_preserves_random () =
+  (* the decisive test: ODC-aware resubstitution must preserve the primary
+     outputs on random networks (SAT-proved) *)
+  let module Rs = Algo.Resub.Make (Aig) in
+  let module C = Algo.Cec.Make (Aig) (Aig) in
+  let module Cl = Convert.Cleanup (Aig) in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let t = Aig.create () in
+      let signals = ref [] in
+      for _ = 1 to 6 do
+        signals := Aig.create_pi t :: !signals
+      done;
+      let pick () =
+        Aig.complement_if (Random.State.bool rng)
+          (List.nth !signals (Random.State.int rng (List.length !signals)))
+      in
+      for _ = 1 to 70 do
+        let s =
+          match Random.State.int rng 3 with
+          | 0 -> Aig.create_and t (pick ()) (pick ())
+          | 1 -> Aig.create_or t (pick ()) (pick ())
+          | _ -> Aig.create_ite t (pick ()) (pick ()) (pick ())
+        in
+        signals := s :: !signals
+      done;
+      for _ = 1 to 4 do
+        Aig.create_po t (pick ())
+      done;
+      let reference = Cl.cleanup t in
+      ignore (Rs.run t ~kernel:Algo.Resub.And_or ~max_inserted:2 ~use_odc:true ());
+      (match Aig.check_integrity t with
+      | [] -> ()
+      | errs -> Alcotest.failf "seed %d integrity: %s" seed (String.concat "; " errs));
+      match C.check reference t with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+        Alcotest.failf "odc resub seed %d: outputs changed" seed)
+    [ 41; 42; 43; 44; 45; 46 ]
+
+let test_odc_resub_gains () =
+  (* on a real benchmark, ODC resub should do at least as well as plain *)
+  let module S = Lsgen.Suite.Make (Aig) in
+  let module Rs = Algo.Resub.Make (Aig) in
+  let t1 = S.build "priority" in
+  let t2 = S.build "priority" in
+  ignore (Rs.run t1 ~kernel:Algo.Resub.And_or ());
+  ignore (Rs.run t2 ~kernel:Algo.Resub.And_or ~use_odc:true ());
+  Alcotest.(check bool)
+    (Printf.sprintf "odc >= plain (%d vs %d gates)" (Aig.num_gates t2)
+       (Aig.num_gates t1))
+    true
+    (Aig.num_gates t2 <= Aig.num_gates t1)
+
+let odc_suite =
+  [
+    Alcotest.test_case "odc absorption" `Quick test_odc_absorption;
+    Alcotest.test_case "odc window care" `Quick test_odc_window_care;
+    Alcotest.test_case "odc resub preserves outputs" `Slow test_odc_resub_preserves_random;
+    Alcotest.test_case "odc resub gains" `Quick test_odc_resub_gains;
+  ]
+
+let suite = suite @ odc_suite

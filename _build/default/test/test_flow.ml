@@ -1,0 +1,184 @@
+(* Tests for the flow engine: script parsing, the compress2rs flow on real
+   benchmarks with SAT-verified equivalence, the specialized AIG flow, and
+   the portfolio. *)
+
+open Network
+
+module F = Flow.Engine.Make (Aig)
+module Cec_aa = Algo.Cec.Make (Aig) (Aig)
+module Copy = Convert.Make (Aig) (Aig)
+module S = Lsgen.Suite.Make (Aig)
+
+let test_script_parse () =
+  let cmds = Flow.Script.parse Flow.Script.compress2rs in
+  Alcotest.(check int) "18 commands" 18 (List.length cmds);
+  Alcotest.(check bool) "starts with balance" true
+    (List.hd cmds = Flow.Script.Balance);
+  match Flow.Script.parse "rs -c 10 -d 2" with
+  | [ Flow.Script.Resub { cut_size = 10; max_inserted = 2 } ] -> ()
+  | _ -> Alcotest.fail "rs options not parsed"
+
+let test_script_parse_error () =
+  match Flow.Script.parse "frobnicate" with
+  | exception Flow.Script.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_script_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "to_string . parse" s
+        (String.concat "; "
+           (List.map Flow.Script.to_string (Flow.Script.parse s))))
+    [ "bz; rw; rwz; rf; rfz; rs -c 8"; "rs -c 10 -d 2" ]
+
+(* the flow must shrink the benchmark and provably preserve its function *)
+let flow_check name =
+  let baseline = S.build name in
+  let work = Copy.convert baseline in
+  let env = Flow.Engine.aig_env () in
+  let optimized = F.run_script env work Flow.Script.compress_lite in
+  Alcotest.(check bool)
+    (name ^ " did not grow")
+    true
+    (Aig.num_gates optimized <= Aig.num_gates baseline);
+  (match Aig.check_integrity optimized with
+  | [] -> ()
+  | errs -> Alcotest.failf "%s integrity: %s" name (String.concat "; " errs));
+  match Cec_aa.check baseline optimized with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ -> Alcotest.fail (name ^ ": flow broke the function")
+  | Algo.Cec.Unknown -> Alcotest.fail (name ^ ": cec unknown")
+
+let test_flow_small_benchmarks () =
+  List.iter flow_check [ "ctrl"; "int2float"; "dec" ]
+
+let test_flow_priority () = flow_check "priority"
+
+let test_specialized_matches_generic () =
+  (* the layer-4 specialized flow must agree functionally with the generic
+     one (they may differ structurally) *)
+  let baseline = S.build "int2float" in
+  let g = Copy.convert baseline and s = Copy.convert baseline in
+  let env1 = Flow.Engine.aig_env () and env2 = Flow.Engine.aig_env () in
+  let g = F.run_script env1 g "rw; rwz" in
+  let s = Flow.Specialized_aig.run_script env2 s "rw; rwz" in
+  (match Cec_aa.check g s with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "specialized and generic flows diverge");
+  (* both should achieve a comparable gate count (within 15%) *)
+  let ng = Aig.num_gates g and ns = Aig.num_gates s in
+  Alcotest.(check bool)
+    (Printf.sprintf "similar quality (%d vs %d)" ng ns)
+    true
+    (abs (ng - ns) * 100 <= 15 * max ng ns)
+
+let test_portfolio () =
+  let baseline = S.build "ctrl" in
+  let r = Flow.Portfolio.run ~script:Flow.Script.compress_lite baseline in
+  Alcotest.(check int) "three entries" 3 (List.length r.Flow.Portfolio.entries);
+  List.iter
+    (fun (e : Flow.Portfolio.entry) ->
+      Alcotest.(check bool) (e.representation ^ " has luts") true (e.luts > 0))
+    r.Flow.Portfolio.entries;
+  Alcotest.(check bool) "best is minimal" true
+    (List.for_all
+       (fun (e : Flow.Portfolio.entry) -> r.Flow.Portfolio.best.luts <= e.luts)
+       r.Flow.Portfolio.entries)
+
+let test_flow_mig_xag () =
+  (* cross-representation flow equivalence on a small arithmetic block *)
+  let baseline = S.build "int2float" in
+  let module To_mig = Convert.Make (Aig) (Mig) in
+  let module To_xag = Convert.Make (Aig) (Xag) in
+  let module Fm = Flow.Engine.Make (Mig) in
+  let module Fx = Flow.Engine.Make (Xag) in
+  let module Cec_am = Algo.Cec.Make (Aig) (Mig) in
+  let module Cec_ax = Algo.Cec.Make (Aig) (Xag) in
+  let m = Fm.run_script (Flow.Engine.mig_env ()) (To_mig.convert baseline)
+      Flow.Script.compress_lite
+  in
+  (match Cec_am.check baseline m with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "mig flow broke the function");
+  let x = Fx.run_script (Flow.Engine.xag_env ()) (To_xag.convert baseline)
+      Flow.Script.compress_lite
+  in
+  match Cec_ax.check baseline x with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "xag flow broke the function"
+
+let suite =
+  [
+    Alcotest.test_case "script parse" `Quick test_script_parse;
+    Alcotest.test_case "script parse error" `Quick test_script_parse_error;
+    Alcotest.test_case "script roundtrip" `Quick test_script_roundtrip;
+    Alcotest.test_case "compress_lite on small benchmarks" `Slow test_flow_small_benchmarks;
+    Alcotest.test_case "compress_lite on priority" `Slow test_flow_priority;
+    Alcotest.test_case "specialized = generic" `Slow test_specialized_matches_generic;
+    Alcotest.test_case "portfolio" `Slow test_portfolio;
+    Alcotest.test_case "mig/xag flows preserve function" `Slow test_flow_mig_xag;
+  ]
+
+(* -- additional coverage -- *)
+
+let test_stats () =
+  let t = S.build "ctrl" in
+  let s = F.network_stats t in
+  Alcotest.(check int) "nodes" (Aig.num_gates t) s.Flow.Engine.nodes;
+  let module D = Algo.Depth.Make (Aig) in
+  Alcotest.(check int) "levels" (D.depth t) s.Flow.Engine.levels
+
+let test_full_compress2rs_small () =
+  (* the exact paper flow (18 commands), end to end, SAT-verified *)
+  let baseline = S.build "int2float" in
+  let work = Copy.convert baseline in
+  let env = Flow.Engine.aig_env () in
+  let optimized = F.run_script env work Flow.Script.compress2rs in
+  Alcotest.(check bool) "shrank" true
+    (Aig.num_gates optimized < Aig.num_gates baseline);
+  match Cec_aa.check baseline optimized with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "compress2rs broke int2float"
+
+let test_env_reuse_across_benchmarks () =
+  (* one env (and its NPN database) across several benchmarks *)
+  let env = Flow.Engine.aig_env () in
+  List.iter
+    (fun name ->
+      let baseline = S.build name in
+      let optimized = F.run_script env (Copy.convert baseline) "rw" in
+      match Cec_aa.check baseline optimized with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+        Alcotest.fail (name ^ ": shared-env rewrite broke the function"))
+    [ "ctrl"; "int2float"; "router" ];
+  let _, misses, _ = Exact.Database.stats env.Flow.Engine.db in
+  Alcotest.(check bool) "database populated" true (misses > 0)
+
+let test_xmg_flow () =
+  let baseline = S.build "ctrl" in
+  let module To_xmg = Convert.Make (Aig) (Xmg) in
+  let module Fg = Flow.Engine.Make (Xmg) in
+  let module Cg = Algo.Cec.Make (Aig) (Xmg) in
+  let x =
+    Fg.run_script (Flow.Engine.xmg_env ()) (To_xmg.convert baseline)
+      Flow.Script.compress_lite
+  in
+  match Cg.check baseline x with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "xmg flow broke the function"
+
+let extra_suite =
+  [
+    Alcotest.test_case "network stats" `Quick test_stats;
+    Alcotest.test_case "full compress2rs (int2float)" `Slow test_full_compress2rs_small;
+    Alcotest.test_case "env reuse across benchmarks" `Slow test_env_reuse_across_benchmarks;
+    Alcotest.test_case "xmg flow" `Slow test_xmg_flow;
+  ]
+
+let suite = suite @ extra_suite

@@ -1,0 +1,343 @@
+(* Tests for the truth-table package: Tt, Npn, Isop, Factor. *)
+
+open Kitty
+
+let tt_testable = Alcotest.testable Tt.pp Tt.equal
+
+(* -- deterministic unit tests -- *)
+
+let test_const () =
+  Alcotest.(check bool) "const0 is const0" true (Tt.is_const0 (Tt.const0 4));
+  Alcotest.(check bool) "const1 is const1" true (Tt.is_const1 (Tt.const1 4));
+  Alcotest.(check bool) "const0 of 8 vars" true (Tt.is_const0 (Tt.const0 8));
+  Alcotest.(check tt_testable) "not const0 = const1" (Tt.const1 3) Tt.(~:(const0 3))
+
+let test_nth_var () =
+  for n = 1 to 8 do
+    for i = 0 to n - 1 do
+      let v = Tt.nth_var n i in
+      Alcotest.(check int)
+        (Printf.sprintf "x%d over %d vars has 2^%d ones" i n (n - 1))
+        (1 lsl (n - 1)) (Tt.count_ones v);
+      for m = 0 to (1 lsl n) - 1 do
+        Alcotest.(check int) "bit matches minterm" ((m lsr i) land 1) (Tt.get_bit v m)
+      done
+    done
+  done
+
+let test_ops_small () =
+  let a = Tt.nth_var 3 0 and b = Tt.nth_var 3 1 and c = Tt.nth_var 3 2 in
+  Alcotest.(check string) "and" "80" (Tt.to_hex Tt.(a &: b &: c));
+  Alcotest.(check string) "or" "fe" (Tt.to_hex Tt.(a |: b |: c));
+  Alcotest.(check string) "maj" "e8" (Tt.to_hex (Tt.maj a b c));
+  Alcotest.(check string) "xor3" "96" (Tt.to_hex Tt.(a ^: b ^: c))
+
+let test_hex_roundtrip () =
+  let cases = [ (4, "cafe"); (3, "e8"); (2, "6"); (5, "deadbeef") ] in
+  List.iter
+    (fun (n, s) ->
+      Alcotest.(check string) ("hex roundtrip " ^ s) s (Tt.to_hex (Tt.of_hex n s)))
+    cases
+
+let test_cofactors () =
+  let f = Tt.of_hex 3 "e8" (* maj *) in
+  (* maj(1,b,c) = b|c ; maj(0,b,c) = b&c *)
+  let b = Tt.nth_var 3 1 and c = Tt.nth_var 3 2 in
+  Alcotest.(check tt_testable) "cofactor1 maj" Tt.(b |: c) (Tt.cofactor1 f 0);
+  Alcotest.(check tt_testable) "cofactor0 maj" Tt.(b &: c) (Tt.cofactor0 f 0)
+
+let test_support () =
+  let f = Tt.(nth_var 5 1 &: nth_var 5 3) in
+  Alcotest.(check (list int)) "support" [ 1; 3 ] (Tt.support f);
+  Alcotest.(check bool) "has_var" true (Tt.has_var f 1);
+  Alcotest.(check bool) "no var" false (Tt.has_var f 0)
+
+let test_flip_swap () =
+  let f = Tt.(nth_var 3 0 &: ~:(nth_var 3 1)) in
+  let g = Tt.flip f 1 in
+  Alcotest.(check tt_testable) "flip" Tt.(nth_var 3 0 &: nth_var 3 1) g;
+  let h = Tt.swap_vars f 0 1 in
+  Alcotest.(check tt_testable) "swap" Tt.(nth_var 3 1 &: ~:(nth_var 3 0)) h
+
+let test_extend_shrink () =
+  let f = Tt.(nth_var 3 0 ^: nth_var 3 2) in
+  let g = Tt.extend f 6 in
+  Alcotest.(check tt_testable) "extend" Tt.(nth_var 6 0 ^: nth_var 6 2) g;
+  Alcotest.(check tt_testable) "shrink inverse" f (Tt.shrink g 3)
+
+let test_apply () =
+  (* compose maj with (and, or, xor) inputs over 2 fresh variables *)
+  let maj = Tt.of_hex 3 "e8" in
+  let x = Tt.nth_var 2 0 and y = Tt.nth_var 2 1 in
+  let got = Tt.apply maj [| Tt.(x &: y); Tt.(x |: y); Tt.(x ^: y) |] in
+  let expected = Tt.maj Tt.(x &: y) Tt.(x |: y) Tt.(x ^: y) in
+  Alcotest.(check tt_testable) "apply = direct composition" expected got
+
+(* -- NPN -- *)
+
+let test_npn_roundtrip_exhaustive () =
+  (* every 3-variable function: canonical + transforms are consistent *)
+  for v = 0 to 255 do
+    let f = Tt.of_int64 3 (Int64.of_int v) in
+    let g, tr = Npn.canonize f in
+    Alcotest.(check tt_testable) "apply tr f = canonical" g (Npn.apply tr f);
+    Alcotest.(check tt_testable) "apply_inverse tr g = f" f (Npn.apply_inverse tr g)
+  done
+
+let test_npn_class_count_3 () =
+  (* the number of NPN classes of 3-variable functions is 14 *)
+  let classes = Hashtbl.create 32 in
+  for v = 0 to 255 do
+    let f = Tt.of_int64 3 (Int64.of_int v) in
+    let g, _ = Npn.canonize f in
+    Hashtbl.replace classes (Tt.to_hex g) ()
+  done;
+  Alcotest.(check int) "14 NPN classes of 3 vars" 14 (Hashtbl.length classes)
+
+let test_npn_db_assignment () =
+  (* db_input_assignment reconstructs f from the canonical form *)
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 200 do
+    let v = Random.State.int rng 65536 in
+    let f = Tt.of_int64 4 (Int64.of_int v) in
+    let g, tr = Npn.canonize f in
+    let assignment, out_c = Npn.db_input_assignment tr in
+    (* feed g with (possibly complemented) projections per the assignment *)
+    let args =
+      Array.map
+        (fun (leaf, c) ->
+          let p = Tt.nth_var 4 leaf in
+          if c then Tt.( ~: ) p else p)
+        assignment
+    in
+    let rebuilt = Tt.apply g args in
+    let rebuilt = if out_c then Tt.( ~: ) rebuilt else rebuilt in
+    Alcotest.(check tt_testable) "db assignment rebuilds f" f rebuilt
+  done
+
+(* -- ISOP / factoring -- *)
+
+let test_isop_simple () =
+  let f = Tt.(nth_var 3 0 |: (nth_var 3 1 &: nth_var 3 2)) in
+  let cubes = Isop.of_tt f in
+  Alcotest.(check tt_testable) "isop covers f" f (Cube.sop_to_tt 3 cubes);
+  Alcotest.(check int) "two cubes" 2 (List.length cubes)
+
+let test_factor_simple () =
+  (* x0 x1 + x0 x2 factors into x0 (x1 + x2): 3 literals *)
+  let f = Tt.((nth_var 3 0 &: nth_var 3 1) |: (nth_var 3 0 &: nth_var 3 2)) in
+  let e = Factor.of_tt f in
+  Alcotest.(check tt_testable) "factor sound" f (Factor.to_tt 3 e);
+  Alcotest.(check int) "3 literals" 3 (Factor.literal_count e)
+
+(* -- property-based tests -- *)
+
+let arb_tt n =
+  QCheck.make
+    ~print:(fun v -> Printf.sprintf "0x%Lx" v)
+    QCheck.Gen.(map Int64.of_int (int_bound ((1 lsl min 16 (1 lsl n)) - 1)))
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"DeMorgan on truth tables" ~count:500
+    (QCheck.pair (arb_tt 4) (arb_tt 4))
+    (fun (a, b) ->
+      let a = Tt.of_int64 4 a and b = Tt.of_int64 4 b in
+      Tt.equal Tt.(~:(a &: b)) Tt.(~:a |: ~:b))
+
+let prop_shannon =
+  QCheck.Test.make ~name:"Shannon expansion" ~count:500 (arb_tt 4)
+    (fun v ->
+      let f = Tt.of_int64 4 v in
+      let ok = ref true in
+      for i = 0 to 3 do
+        let x = Tt.nth_var 4 i in
+        let expanded = Tt.((x &: cofactor1 f i) |: (~:x &: cofactor0 f i)) in
+        ok := !ok && Tt.equal f expanded
+      done;
+      !ok)
+
+let prop_npn_invariant =
+  QCheck.Test.make ~name:"NPN canonical is class invariant" ~count:200
+    (QCheck.pair (arb_tt 4) (QCheck.int_bound 15))
+    (fun (v, flips) ->
+      let f = Tt.of_int64 4 v in
+      (* apply a random input-flip transform; canonical must not change *)
+      let tr = { Npn.perm = [| 0; 1; 2; 3 |]; flips; out_flip = false } in
+      let f' = Npn.apply tr f in
+      let g, _ = Npn.canonize f and g', _ = Npn.canonize f' in
+      Tt.equal g g')
+
+let prop_isop_sound =
+  QCheck.Test.make ~name:"ISOP cover equals function" ~count:500 (arb_tt 4)
+    (fun v ->
+      let f = Tt.of_int64 4 v in
+      Tt.equal f (Cube.sop_to_tt 4 (Isop.of_tt f)))
+
+let prop_factor_sound =
+  QCheck.Test.make ~name:"factored form equals function" ~count:500 (arb_tt 4)
+    (fun v ->
+      let f = Tt.of_int64 4 v in
+      Tt.equal f (Factor.to_tt 4 (Factor.of_tt f)))
+
+let prop_isop_sound_6 =
+  QCheck.Test.make ~name:"ISOP sound on 6 vars" ~count:100
+    (QCheck.pair (arb_tt 4) (arb_tt 4))
+    (fun (v1, v2) ->
+      (* build a 6-var function from two 4-var pieces *)
+      let a = Tt.extend (Tt.of_int64 4 v1) 6 in
+      let b = Tt.extend (Tt.of_int64 4 v2) 6 in
+      let f = Tt.(ite (nth_var 6 5) a (b ^: nth_var 6 4)) in
+      Tt.equal f (Cube.sop_to_tt 6 (Isop.of_tt f)))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_const;
+    Alcotest.test_case "nth_var" `Quick test_nth_var;
+    Alcotest.test_case "basic ops" `Quick test_ops_small;
+    Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+    Alcotest.test_case "cofactors" `Quick test_cofactors;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "flip/swap" `Quick test_flip_swap;
+    Alcotest.test_case "extend/shrink" `Quick test_extend_shrink;
+    Alcotest.test_case "apply" `Quick test_apply;
+    Alcotest.test_case "npn roundtrip (all 3-var)" `Quick test_npn_roundtrip_exhaustive;
+    Alcotest.test_case "npn class count (3 vars)" `Quick test_npn_class_count_3;
+    Alcotest.test_case "npn db assignment" `Quick test_npn_db_assignment;
+    Alcotest.test_case "isop simple" `Quick test_isop_simple;
+    Alcotest.test_case "factor simple" `Quick test_factor_simple;
+    QCheck_alcotest.to_alcotest prop_demorgan;
+    QCheck_alcotest.to_alcotest prop_shannon;
+    QCheck_alcotest.to_alcotest prop_npn_invariant;
+    QCheck_alcotest.to_alcotest prop_isop_sound;
+    QCheck_alcotest.to_alcotest prop_factor_sound;
+    QCheck_alcotest.to_alcotest prop_isop_sound_6;
+  ]
+
+(* -- multi-word truth tables (more than 6 variables) -- *)
+
+let test_multiword_ops () =
+  let n = 8 in
+  let a = Tt.nth_var n 0 and g = Tt.nth_var n 7 in
+  (* variables below and above the word boundary behave identically *)
+  Alcotest.(check int) "count a" (1 lsl (n - 1)) (Tt.count_ones a);
+  Alcotest.(check int) "count g" (1 lsl (n - 1)) (Tt.count_ones g);
+  Alcotest.(check int) "count a&g" (1 lsl (n - 2)) (Tt.count_ones Tt.(a &: g));
+  Alcotest.(check tt_testable) "demorgan 8 vars" Tt.(~:(a &: g)) Tt.(~:a |: ~:g)
+
+let test_multiword_cofactor_flip () =
+  let n = 8 in
+  for i = 0 to n - 1 do
+    let f = Tt.(nth_var n i &: nth_var n ((i + 3) mod n)) in
+    (* cofactors of f in i *)
+    Alcotest.(check bool)
+      (Printf.sprintf "cof0 var %d" i)
+      true
+      (Tt.is_const0 (Tt.cofactor0 f i));
+    Alcotest.(check tt_testable)
+      (Printf.sprintf "cof1 var %d" i)
+      (Tt.nth_var n ((i + 3) mod n))
+      (Tt.cofactor1 f i);
+    (* double flip is identity *)
+    Alcotest.(check tt_testable)
+      (Printf.sprintf "flip twice var %d" i)
+      f
+      (Tt.flip (Tt.flip f i) i);
+    (* flip exchanges cofactors *)
+    Alcotest.(check tt_testable)
+      (Printf.sprintf "flip swaps cofactors var %d" i)
+      (Tt.cofactor0 f i)
+      (Tt.cofactor1 (Tt.flip f i) i)
+  done
+
+let test_multiword_swap () =
+  let n = 9 in
+  (* swap across the word boundary: vars 2 and 8 *)
+  let f = Tt.(nth_var n 2 &: ~:(nth_var n 8)) in
+  let g = Tt.swap_vars f 2 8 in
+  Alcotest.(check tt_testable) "swap" Tt.(nth_var n 8 &: ~:(nth_var n 2)) g;
+  Alcotest.(check tt_testable) "swap involutive" f (Tt.swap_vars g 2 8)
+
+let test_extend_shrink_multiword () =
+  let f = Tt.(nth_var 5 1 ^: nth_var 5 4) in
+  let g = Tt.extend f 9 in
+  Alcotest.(check tt_testable) "extend to 9" Tt.(nth_var 9 1 ^: nth_var 9 4) g;
+  Alcotest.(check tt_testable) "shrink back" f (Tt.shrink g 5);
+  Alcotest.(check (list int)) "support preserved" [ 1; 4 ] (Tt.support g)
+
+let test_npn_class_count_4 () =
+  (* the classic result: 222 NPN classes of 4-variable functions *)
+  let classes = Hashtbl.create 256 in
+  for v = 0 to 65535 do
+    let f = Tt.of_int64 4 (Int64.of_int v) in
+    let g, _ = Npn.canonize f in
+    Hashtbl.replace classes (Tt.to_hex g) ()
+  done;
+  Alcotest.(check int) "222 NPN classes of 4 vars" 222 (Hashtbl.length classes)
+
+let test_npn_roundtrip_4 () =
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 500 do
+    let v = Random.State.int rng 65536 in
+    let f = Tt.of_int64 4 (Int64.of_int v) in
+    let g, tr = Npn.canonize f in
+    Alcotest.(check tt_testable) "apply" g (Npn.apply tr f);
+    Alcotest.(check tt_testable) "inverse" f (Npn.apply_inverse tr g)
+  done
+
+let test_cube_ops () =
+  let c = Cube.of_literal 2 true in
+  let c = Cube.add_literal c 5 false in
+  Alcotest.(check int) "2 literals" 2 (Cube.num_literals c);
+  Alcotest.(check bool) "has 2" true (Cube.has_literal c 2);
+  Alcotest.(check bool) "polarity 2" true (Cube.polarity c 2);
+  Alcotest.(check bool) "polarity 5" false (Cube.polarity c 5);
+  let c' = Cube.remove_literal c 2 in
+  Alcotest.(check int) "1 literal" 1 (Cube.num_literals c');
+  Alcotest.(check tt_testable) "cube tt"
+    Tt.(nth_var 6 2 &: ~:(nth_var 6 5))
+    (Cube.to_tt 6 c)
+
+let test_isop_irredundant () =
+  (* each ISOP cube must be necessary: removing any changes the function *)
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let v = Random.State.int rng 65536 in
+    let f = Tt.of_int64 4 (Int64.of_int v) in
+    let cubes = Isop.of_tt f in
+    List.iteri
+      (fun i _ ->
+        let without = List.filteri (fun j _ -> j <> i) cubes in
+        if Tt.equal (Cube.sop_to_tt 4 without) f then
+          Alcotest.failf "redundant cube in ISOP of %s" (Tt.to_hex f))
+      cubes
+  done
+
+let test_factor_not_worse_than_sop () =
+  (* the factored form never has more literals than the flat SOP *)
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 100 do
+    let v = Random.State.int rng 65536 in
+    let f = Tt.of_int64 4 (Int64.of_int v) in
+    if not (Tt.is_const0 f || Tt.is_const1 f) then begin
+      let sop_lits = Cube.sop_literal_count (Isop.of_tt f) in
+      let factored_lits = Factor.literal_count (Factor.of_tt f) in
+      if factored_lits > sop_lits then
+        Alcotest.failf "factoring increased literals for %s: %d > %d"
+          (Tt.to_hex f) factored_lits sop_lits
+    end
+  done
+
+let extra_suite =
+  [
+    Alcotest.test_case "multiword ops" `Quick test_multiword_ops;
+    Alcotest.test_case "multiword cofactor/flip" `Quick test_multiword_cofactor_flip;
+    Alcotest.test_case "multiword swap" `Quick test_multiword_swap;
+    Alcotest.test_case "extend/shrink multiword" `Quick test_extend_shrink_multiword;
+    Alcotest.test_case "npn class count (4 vars) = 222" `Quick test_npn_class_count_4;
+    Alcotest.test_case "npn roundtrip (4 vars)" `Quick test_npn_roundtrip_4;
+    Alcotest.test_case "cube operations" `Quick test_cube_ops;
+    Alcotest.test_case "isop irredundant" `Quick test_isop_irredundant;
+    Alcotest.test_case "factoring no worse than sop" `Quick test_factor_not_worse_than_sop;
+  ]
+
+let suite = suite @ extra_suite

@@ -1,0 +1,308 @@
+(* Tests for the benchmark generators: each word-level block is verified
+   functionally against integer arithmetic via exhaustive simulation. *)
+
+open Network
+
+module B = Lsgen.Blocks.Make (Aig)
+module Sim = Algo.Simulate.Make (Aig)
+
+(* Evaluate an AIG on one integer input assignment: PI i <- bit i of x. *)
+let eval_net t x =
+  let pis = Array.init (Aig.num_pis t) (fun i ->
+      if (x lsr i) land 1 = 1 then Kitty.Tt.const1 0 else Kitty.Tt.const0 0)
+  in
+  let values = Sim.simulate t pis in
+  let outs = Sim.output_values t values in
+  Array.fold_left
+    (fun (acc, bit) tt ->
+      ((if Kitty.Tt.is_const1 tt then acc lor (1 lsl bit) else acc), bit + 1))
+    (0, 0) outs
+  |> fst
+
+let test_adder () =
+  let t = Aig.create () in
+  let a = B.input_word t ~width:4 and b = B.input_word t ~width:4 in
+  let sum, carry = B.add t a b in
+  B.output_word t sum;
+  Aig.create_po t carry;
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let got = eval_net t (x lor (y lsl 4)) in
+      Alcotest.(check int) (Printf.sprintf "%d+%d" x y) (x + y) got
+    done
+  done
+
+let test_subtract_compare () =
+  let t = Aig.create () in
+  let a = B.input_word t ~width:4 and b = B.input_word t ~width:4 in
+  let diff, geq = B.subtract t a b in
+  B.output_word t diff;
+  Aig.create_po t geq;
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let got = eval_net t (x lor (y lsl 4)) in
+      let expected = ((x - y) land 15) lor (if x >= y then 16 else 0) in
+      Alcotest.(check int) (Printf.sprintf "%d-%d" x y) expected got
+    done
+  done
+
+let test_multiplier () =
+  let t = Aig.create () in
+  let a = B.input_word t ~width:3 and b = B.input_word t ~width:3 in
+  B.output_word t (B.multiplier t a b);
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      Alcotest.(check int)
+        (Printf.sprintf "%d*%d" x y)
+        (x * y)
+        (eval_net t (x lor (y lsl 3)))
+    done
+  done
+
+let test_divider () =
+  let t = Aig.create () in
+  let a = B.input_word t ~width:4 and b = B.input_word t ~width:4 in
+  let q, r = B.divider t a b in
+  B.output_word t q;
+  B.output_word t r;
+  for x = 0 to 15 do
+    for y = 1 to 15 do
+      let got = eval_net t (x lor (y lsl 4)) in
+      let expected = (x / y) lor ((x mod y) lsl 4) in
+      Alcotest.(check int) (Printf.sprintf "%d/%d" x y) expected got
+    done
+  done
+
+let test_sqrt () =
+  let t = Aig.create () in
+  let a = B.input_word t ~width:6 in
+  let root, rem = B.sqrt t a in
+  B.output_word t root;
+  B.output_word t rem;
+  for x = 0 to 63 do
+    let isqrt = int_of_float (Float.sqrt (float_of_int x)) in
+    let got = eval_net t x in
+    let expected = isqrt lor ((x - (isqrt * isqrt)) lsl 3) in
+    Alcotest.(check int) (Printf.sprintf "sqrt %d" x) expected got
+  done
+
+let test_barrel_shifter () =
+  let t = Aig.create () in
+  let data = B.input_word t ~width:8 in
+  let shamt = B.input_word t ~width:3 in
+  B.output_word t (B.barrel_shifter t data shamt);
+  for d = 0 to 255 do
+    for s = 0 to 7 do
+      Alcotest.(check int)
+        (Printf.sprintf "%d >> %d" d s)
+        (d lsr s)
+        (eval_net t (d lor (s lsl 8)))
+    done
+  done
+
+let test_priority_encoder () =
+  let t = Aig.create () in
+  let x = B.input_word t ~width:8 in
+  let idx, valid = B.priority_encoder t x in
+  B.output_word t idx;
+  Aig.create_po t valid;
+  for v = 0 to 255 do
+    let expected =
+      if v = 0 then 0
+      else begin
+        let rec top i = if (v lsr i) land 1 = 1 then i else top (i - 1) in
+        top 7 lor 8
+      end
+    in
+    Alcotest.(check int) (Printf.sprintf "prio %d" v) expected (eval_net t v)
+  done
+
+let test_decoder () =
+  let t = Aig.create () in
+  let sel = B.input_word t ~width:3 in
+  B.output_word t (B.decoder t sel);
+  for v = 0 to 7 do
+    Alcotest.(check int) (Printf.sprintf "dec %d" v) (1 lsl v) (eval_net t v)
+  done
+
+let test_popcount () =
+  let t = Aig.create () in
+  let xs = List.init 7 (fun _ -> Aig.create_pi t) in
+  B.output_word t (B.popcount t xs);
+  for v = 0 to 127 do
+    let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+    Alcotest.(check int) (Printf.sprintf "pop %d" v) (pop v) (eval_net t v)
+  done
+
+let test_max_tree () =
+  let t = Aig.create () in
+  let words = List.init 4 (fun _ -> B.input_word t ~width:3) in
+  let best, idx = B.max_tree t words in
+  B.output_word t best;
+  B.output_word t idx;
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 200 do
+    let vals = Array.init 4 (fun _ -> Random.State.int rng 8) in
+    let x = vals.(0) lor (vals.(1) lsl 3) lor (vals.(2) lsl 6) lor (vals.(3) lsl 9) in
+    let got = eval_net t x in
+    let m = Array.fold_left max 0 vals in
+    Alcotest.(check int) "max value" m (got land 7)
+    (* index is any argmax; check it points at a maximal word *)
+    ;
+    let idx_got = (got lsr 3) land 3 in
+    Alcotest.(check int) "argmax" m vals.(idx_got)
+  done
+
+let test_mux_word () =
+  let t = Aig.create () in
+  let s = Aig.create_pi t in
+  let a = B.input_word t ~width:4 and b = B.input_word t ~width:4 in
+  B.output_word t (B.mux_word t s a b);
+  for v = 0 to 511 do
+    let sv = v land 1 and av = (v lsr 1) land 15 and bv = (v lsr 5) land 15 in
+    Alcotest.(check int) "mux" (if sv = 1 then av else bv) (eval_net t v)
+  done
+
+(* suite-level sanity: every benchmark builds, is non-trivial, and has the
+   right interface shape *)
+let test_suite_builds () =
+  let module S = Lsgen.Suite.Make (Aig) in
+  List.iter
+    (fun name ->
+      let t = S.build name in
+      Alcotest.(check bool) (name ^ " has gates") true (Aig.num_gates t > 20);
+      Alcotest.(check bool) (name ^ " has outputs") true (Aig.num_pos t > 0);
+      (match Aig.check_integrity t with
+      | [] -> ()
+      | errs -> Alcotest.failf "%s integrity: %s" name (String.concat "; " errs));
+      (* no primary output may be a constant: that would mean the generator
+         collapsed *)
+      let module Dp = Algo.Depth.Make (Aig) in
+      Alcotest.(check bool) (name ^ " has depth") true (Dp.depth t > 2))
+    S.names
+
+let test_voter_majority () =
+  let module S = Lsgen.Suite.Make (Aig) in
+  ignore S.names;
+  (* small voter instance checked exhaustively *)
+  let t = Aig.create () in
+  let xs = List.init 7 (fun _ -> Aig.create_pi t) in
+  let count = B.popcount t xs in
+  let threshold = B.constant_word t ~width:(Array.length count) 4 in
+  let _, geq = B.subtract t count threshold in
+  Aig.create_po t geq;
+  for v = 0 to 127 do
+    let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+    Alcotest.(check int)
+      (Printf.sprintf "voter %d" v)
+      (if pop v >= 4 then 1 else 0)
+      (eval_net t v)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "adder" `Quick test_adder;
+    Alcotest.test_case "subtract/compare" `Quick test_subtract_compare;
+    Alcotest.test_case "multiplier" `Quick test_multiplier;
+    Alcotest.test_case "divider" `Quick test_divider;
+    Alcotest.test_case "sqrt" `Quick test_sqrt;
+    Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+    Alcotest.test_case "priority encoder" `Quick test_priority_encoder;
+    Alcotest.test_case "decoder" `Quick test_decoder;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "max tree" `Quick test_max_tree;
+    Alcotest.test_case "mux word" `Quick test_mux_word;
+    Alcotest.test_case "voter majority" `Quick test_voter_majority;
+    Alcotest.test_case "all suite benchmarks build" `Slow test_suite_builds;
+  ]
+
+(* -- control generators -- *)
+
+let test_arbiter_one_hot () =
+  (* the round-robin arbiter grants at most one requester, and grants only
+     actual requesters *)
+  let module C = Lsgen.Control.Make (Aig) in
+  let t = Aig.create () in
+  let req = Array.init 4 (fun _ -> Aig.create_pi t) in
+  let ptr = Array.init 4 (fun _ -> Aig.create_pi t) in
+  let grant, any = C.rr_arbiter t req ptr in
+  Array.iter (fun g -> Aig.create_po t g) grant;
+  Aig.create_po t any;
+  for v = 0 to 255 do
+    let got = eval_net t v in
+    let grants = got land 15 in
+    let any_bit = (got lsr 4) land 1 in
+    (* one-hot or zero *)
+    Alcotest.(check bool)
+      (Printf.sprintf "at most one grant (v=%d)" v)
+      true
+      (grants land (grants - 1) = 0);
+    (* grants only requesters *)
+    let reqs = v land 15 in
+    Alcotest.(check int)
+      (Printf.sprintf "grant implies request (v=%d)" v)
+      grants (grants land reqs);
+    (* any = (grants <> 0) *)
+    Alcotest.(check bool)
+      (Printf.sprintf "any consistent (v=%d)" v)
+      (grants <> 0) (any_bit = 1)
+  done
+
+let test_random_logic_depth_reasonable () =
+  (* the stand-in control logic should have realistic (logarithmic-ish)
+     depth, not linear chains *)
+  let module C = Lsgen.Control.Make (Aig) in
+  let module D = Algo.Depth.Make (Aig) in
+  let t = Aig.create () in
+  C.random_logic t ~seed:1234 ~num_pis:32 ~num_pos:16 ~num_gates:800;
+  let d = D.depth t in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth %d in [5, 120]" d)
+    true
+    (d >= 5 && d <= 120);
+  Alcotest.(check bool) "gates created" true (Aig.num_gates t > 400)
+
+let test_random_logic_deterministic () =
+  let module C = Lsgen.Control.Make (Aig) in
+  let build () =
+    let t = Aig.create () in
+    C.random_logic t ~seed:77 ~num_pis:10 ~num_pos:5 ~num_gates:100;
+    t
+  in
+  let t1 = build () and t2 = build () in
+  Alcotest.(check int) "same gates" (Aig.num_gates t1) (Aig.num_gates t2);
+  let module Cc = Algo.Cec.Make (Aig) (Aig) in
+  match Cc.check t1 t2 with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "generator not deterministic"
+
+let test_suite_generic_over_reps () =
+  (* the same generator emits every representation *)
+  let module Sm = Lsgen.Suite.Make (Mig) in
+  let module Sx = Lsgen.Suite.Make (Xag) in
+  let m = Sm.build "adder" in
+  let x = Sx.build "adder" in
+  Alcotest.(check bool) "mig adder has majority gates" true (Mig.num_gates m > 0);
+  Alcotest.(check bool) "xag adder has gates" true (Xag.num_gates x > 0);
+  (* the XAG adder should contain XOR gates natively *)
+  let has_xor = ref false in
+  Xag.foreach_gate x (fun n ->
+      if Kind.equal (Xag.gate_kind x n) Kind.Xor then has_xor := true);
+  Alcotest.(check bool) "xag adder uses xor" true !has_xor;
+  (* cross-representation equivalence of the same generator *)
+  let module Ca = Algo.Cec.Make (Mig) (Xag) in
+  match Ca.check m x with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "mig and xag adders differ"
+
+let extra_suite =
+  [
+    Alcotest.test_case "arbiter one-hot" `Quick test_arbiter_one_hot;
+    Alcotest.test_case "random logic depth" `Quick test_random_logic_depth_reasonable;
+    Alcotest.test_case "random logic deterministic" `Quick test_random_logic_deterministic;
+    Alcotest.test_case "suite generic over reps" `Quick test_suite_generic_over_reps;
+  ]
+
+let suite = suite @ extra_suite

@@ -1,0 +1,198 @@
+(* Tests for the I/O formats: AIGER and BLIF roundtrips are verified by SAT
+   equivalence; BENCH and DOT writers by structural sanity. *)
+
+open Network
+
+module Cec_aa = Algo.Cec.Make (Aig) (Aig)
+module Cec_kk = Algo.Cec.Make (Klut) (Klut)
+
+let small_aig () =
+  let t = Aig.create () in
+  let a = Aig.create_pi t and b = Aig.create_pi t and c = Aig.create_pi t in
+  let f = Aig.create_maj t a b c in
+  let g = Aig.create_xor t a (Aig.complement b) in
+  Aig.create_po t f;
+  Aig.create_po t (Aig.complement g);
+  t
+
+let roundtrip_aiger t =
+  let path = Filename.temp_file "genlog" ".aag" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lsio.Aiger.write_file t path;
+      Lsio.Aiger.read_file path)
+
+let test_aiger_roundtrip () =
+  let t = small_aig () in
+  let t' = roundtrip_aiger t in
+  Alcotest.(check int) "pis" (Aig.num_pis t) (Aig.num_pis t');
+  Alcotest.(check int) "pos" (Aig.num_pos t) (Aig.num_pos t');
+  Alcotest.(check int) "gates" (Aig.num_gates t) (Aig.num_gates t');
+  match Cec_aa.check t t' with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "aiger roundtrip not equivalent"
+
+let test_aiger_roundtrip_benchmark () =
+  let module S = Lsgen.Suite.Make (Aig) in
+  let t = S.build "int2float" in
+  let t' = roundtrip_aiger t in
+  match Cec_aa.check t t' with
+  | Algo.Cec.Equivalent -> ()
+  | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+    Alcotest.fail "benchmark aiger roundtrip not equivalent"
+
+let test_aiger_rejects_garbage () =
+  let path = Filename.temp_file "genlog" ".aag" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not an aiger file\n";
+      close_out oc;
+      match Lsio.Aiger.read_file path with
+      | exception Lsio.Aiger.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected parse error")
+
+let mapped_klut () =
+  let module S = Lsgen.Suite.Make (Aig) in
+  let module L = Algo.Lutmap.Make (Aig) in
+  let t = S.build "ctrl" in
+  let m = L.map t ~k:4 () in
+  m.L.klut
+
+let test_blif_roundtrip () =
+  let k = mapped_klut () in
+  let path = Filename.temp_file "genlog" ".blif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lsio.Blif.write_file k path;
+      let k' = Lsio.Blif.read_file path in
+      Alcotest.(check int) "pis" (Klut.num_pis k) (Klut.num_pis k');
+      Alcotest.(check int) "pos" (Klut.num_pos k) (Klut.num_pos k');
+      match Cec_kk.check k k' with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+        Alcotest.fail "blif roundtrip not equivalent")
+
+let test_bench_writer () =
+  let t = small_aig () in
+  let module W = Lsio.Bench.Make (Aig) in
+  let path = Filename.temp_file "genlog" ".bench" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.write_file t path;
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let contains sub =
+        let n = String.length sub and m = String.length content in
+        let rec go i = i + n <= m && (String.sub content i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "has inputs" true
+        (contains "INPUT(" && contains "OUTPUT(" && contains "AND("))
+
+let test_dot_writer () =
+  let t = small_aig () in
+  let module W = Lsio.Dot.Make (Aig) in
+  let path = Filename.temp_file "genlog" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.write_file t path;
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "digraph" true
+        (String.length content > 10 && String.sub content 0 7 = "digraph"))
+
+let suite =
+  [
+    Alcotest.test_case "aiger roundtrip" `Quick test_aiger_roundtrip;
+    Alcotest.test_case "aiger roundtrip benchmark" `Quick test_aiger_roundtrip_benchmark;
+    Alcotest.test_case "aiger parse error" `Quick test_aiger_rejects_garbage;
+    Alcotest.test_case "blif roundtrip" `Quick test_blif_roundtrip;
+    Alcotest.test_case "bench writer" `Quick test_bench_writer;
+    Alcotest.test_case "dot writer" `Quick test_dot_writer;
+  ]
+
+(* -- additional coverage -- *)
+
+let test_blif_complemented_po () =
+  (* complemented PO signals must roundtrip through the inverter LUT *)
+  let open Kitty in
+  let t = Klut.create () in
+  let a = Klut.create_pi t and b = Klut.create_pi t in
+  let f = Klut.create_lut t [| a; b |] Tt.(nth_var 2 0 &: nth_var 2 1) in
+  Klut.create_po t (Klut.complement f);
+  Klut.create_po t f;
+  let path = Filename.temp_file "genlog" ".blif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lsio.Blif.write_file t path;
+      let t' = Lsio.Blif.read_file path in
+      match Cec_kk.check t t' with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+        Alcotest.fail "complemented-PO blif roundtrip failed")
+
+let test_blif_constant_po () =
+  let t = Klut.create () in
+  let _a = Klut.create_pi t in
+  Klut.create_po t (Klut.constant true);
+  Klut.create_po t (Klut.constant false);
+  let path = Filename.temp_file "genlog" ".blif" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lsio.Blif.write_file t path;
+      let t' = Lsio.Blif.read_file path in
+      Alcotest.(check int) "pos" 2 (Klut.num_pos t'))
+
+let test_aiger_all_benchmarks () =
+  (* every suite benchmark roundtrips through AIGER with equal counts *)
+  let module S = Lsgen.Suite.Make (Network.Aig) in
+  List.iter
+    (fun name ->
+      let t = S.build name in
+      let t' = roundtrip_aiger t in
+      Alcotest.(check int) (name ^ " pis") (Aig.num_pis t) (Aig.num_pis t');
+      Alcotest.(check int) (name ^ " pos") (Aig.num_pos t) (Aig.num_pos t'))
+    [ "adder"; "bar"; "dec"; "priority"; "router"; "ctrl"; "int2float" ]
+
+let test_bench_writer_klut () =
+  let open Kitty in
+  let t = Klut.create () in
+  let a = Klut.create_pi t and b = Klut.create_pi t and c = Klut.create_pi t in
+  let f = Klut.create_lut t [| a; b; c |] (Tt.of_hex 3 "e8") in
+  Klut.create_po t f;
+  let module W = Lsio.Bench.Make (Klut) in
+  let path = Filename.temp_file "genlog" ".bench" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.write_file t path;
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let contains sub =
+        let n = String.length sub and m = String.length content in
+        let rec go i = i + n <= m && (String.sub content i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "lut line present" true (contains "LUT 0xe8"))
+
+let extra_suite =
+  [
+    Alcotest.test_case "blif complemented po" `Quick test_blif_complemented_po;
+    Alcotest.test_case "blif constant po" `Quick test_blif_constant_po;
+    Alcotest.test_case "aiger all benchmarks" `Slow test_aiger_all_benchmarks;
+    Alcotest.test_case "bench writer klut" `Quick test_bench_writer_klut;
+  ]
+
+let suite = suite @ extra_suite
