@@ -5,7 +5,12 @@
      dune exec bench/main.exe table1     -- generic vs specialized AIG flow
      dune exec bench/main.exe table2     -- AIG/MIG/XAG comparison + portfolio
      dune exec bench/main.exe micro      -- Bechamel kernel microbenchmarks
+     dune exec bench/main.exe cuts       -- cut-enumeration kernel sweep
      dune exec bench/main.exe ablation   -- design-choice ablations
+
+   Every subcommand additionally writes a machine-readable
+   [BENCH_<name>.json] (benchmark, stage, nodes, levels, LUTs, seconds)
+   for regression tracking across PRs.
 
    Absolute numbers differ from the paper (scaled benchmark generators, an
    OCaml implementation, a from-scratch SAT solver); the comparisons the
@@ -30,6 +35,10 @@ let pct base v =
 (* the benchmark list of the paper's Table 2 (scaled stand-ins) *)
 let suite = Suite.names
 
+let row benchmark stage fields =
+  (("benchmark", Bench_json.Str benchmark) :: ("stage", Bench_json.Str stage)
+  :: fields)
+
 (* -------------------------------------------------------------------- *)
 (* Table 1: apple-to-apple comparison of the generic flow against the    *)
 (* layer-4 specialized AIG flow.                                         *)
@@ -49,6 +58,7 @@ let table1 () =
   let env_spec = Flow.aig_env () in
   let env_gen = Flow.aig_env () in
   let module F = Flow.Make (Aig) in
+  let rows = ref [] in
   List.iter
     (fun name ->
       let baseline = Suite.build name in
@@ -67,6 +77,16 @@ let table1 () =
       let lv_s = D.depth spec and lv_g = D.depth gen in
       Printf.printf "%-12s | %8d %6d %6d %7.2fs | %8d %6d %6d %7.2fs\n" name
         nd_s lv_s m_spec.L.lut_count t_spec nd_g lv_g m_gen.L.lut_count t_gen;
+      rows :=
+        row name "generic"
+          [ ("nodes", Bench_json.Int nd_g); ("levels", Bench_json.Int lv_g);
+            ("luts", Bench_json.Int m_gen.L.lut_count);
+            ("seconds", Bench_json.Float t_gen) ]
+        :: row name "specialized"
+             [ ("nodes", Bench_json.Int nd_s); ("levels", Bench_json.Int lv_s);
+               ("luts", Bench_json.Int m_spec.L.lut_count);
+               ("seconds", Bench_json.Float t_spec) ]
+        :: !rows;
       tot_spec_nd := !tot_spec_nd + nd_s;
       tot_spec_lvl := !tot_spec_lvl + lv_s;
       tot_spec_lut := !tot_spec_lut + m_spec.L.lut_count;
@@ -84,7 +104,8 @@ let table1 () =
     (pct !tot_spec_nd !tot_gen_nd)
     (pct !tot_spec_lvl !tot_gen_lvl)
     (pct !tot_spec_lut !tot_gen_lut);
-  Printf.printf "(paper Table 1: +1.14%% Nd, +3.02%% Lvl, +0.65%% LUTs)\n\n"
+  Printf.printf "(paper Table 1: +1.14%% Nd, +3.02%% Lvl, +0.65%% LUTs)\n\n";
+  Bench_json.write "table1" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)
 (* Table 2: the generic flow on AIG / MIG / XAG + portfolio.             *)
@@ -106,23 +127,44 @@ let table2 () =
       + Option.value ~default:0 (Hashtbl.find_opt tot key))
   in
   let envs = (Flow.aig_env (), Flow.mig_env (), Flow.xag_env ()) in
+  let rows = ref [] in
   List.iter
     (fun name ->
       let baseline = Suite.build name in
       let mb = L.map baseline ~k:6 () in
-      let r = Flow.Portfolio.run ~envs baseline in
+      let r, wall = time_it (fun () -> Flow.Portfolio.run ~envs baseline) in
       let find rep =
         List.find
           (fun (e : Flow.Portfolio.entry) -> e.representation = rep)
           r.entries
       in
       let a = find "aig" and m = find "mig" and x = find "xag" in
+      let sum = a.time +. m.time +. x.time in
       Printf.printf
-        "%-12s %3d/%-4d | %6d %4d %5d | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs\n%!"
+        "%-12s %3d/%-4d | %6d %4d %5d | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | wall %5.1fs (sum %5.1fs)\n%!"
         name (Aig.num_pis baseline) (Aig.num_pos baseline)
         (Aig.num_gates baseline) (D.depth baseline) mb.L.lut_count a.nodes
         a.levels a.luts a.time m.nodes m.levels m.luts m.time x.nodes x.levels
-        x.luts x.time;
+        x.luts x.time wall sum;
+      let entry_row (e : Flow.Portfolio.entry) =
+        row name e.representation
+          [ ("nodes", Bench_json.Int e.nodes);
+            ("levels", Bench_json.Int e.levels);
+            ("luts", Bench_json.Int e.luts);
+            ("lut_levels", Bench_json.Int e.lut_levels);
+            ("seconds", Bench_json.Float e.time) ]
+      in
+      rows :=
+        row name "portfolio"
+          [ ("luts", Bench_json.Int r.best.luts);
+            ("seconds", Bench_json.Float wall);
+            ("seconds_sum", Bench_json.Float sum) ]
+        :: entry_row x :: entry_row m :: entry_row a
+        :: row name "baseline"
+             [ ("nodes", Bench_json.Int (Aig.num_gates baseline));
+               ("levels", Bench_json.Int (D.depth baseline));
+               ("luts", Bench_json.Int mb.L.lut_count) ]
+        :: !rows;
       add "base_luts" mb.L.lut_count;
       add "aig_luts" a.luts;
       add "mig_luts" m.luts;
@@ -130,24 +172,29 @@ let table2 () =
       add "best_luts" r.best.luts;
       addf "aig_time" a.time;
       addf "mig_time" m.time;
-      addf "xag_time" x.time)
+      addf "xag_time" x.time;
+      addf "wall_time" wall)
     suite;
   let get k = Option.value ~default:0 (Hashtbl.find_opt tot k) in
   let imp v = -.pct (get "base_luts") v in
   Printf.printf "\nTotal 6-LUTs: baseline %d  aig %d  mig %d  xag %d  portfolio %d\n"
     (get "base_luts") (get "aig_luts") (get "mig_luts") (get "xag_luts")
     (get "best_luts");
-  Printf.printf "Total time:   aig %.1fs  mig %.1fs  xag %.1fs\n"
+  Printf.printf
+    "Total time:   aig %.1fs  mig %.1fs  xag %.1fs  | portfolio wall %.1fs (sum %.1fs)\n"
     (float_of_int (get "aig_time") /. 100.0)
     (float_of_int (get "mig_time") /. 100.0)
-    (float_of_int (get "xag_time") /. 100.0);
+    (float_of_int (get "xag_time") /. 100.0)
+    (float_of_int (get "wall_time") /. 100.0)
+    (float_of_int (get "aig_time" + get "mig_time" + get "xag_time") /. 100.0);
   Printf.printf
     "LUT improvement: aig %.2f%%  mig %.2f%%  xag %.2f%%  portfolio %.2f%%\n"
     (imp (get "aig_luts")) (imp (get "mig_luts")) (imp (get "xag_luts"))
     (imp (get "best_luts"));
   print_endline
     "(paper Table 2: aig +30.04%, mig +27.78%, xag +31.39% portfolio; \
-     abstract: 29.53/27.01/29.82)\n"
+     abstract: 29.53/27.01/29.82)\n";
+  Bench_json.write "table2" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)
 (* Microbenchmarks (Bechamel): the scalability kernels of paper §2.2.    *)
@@ -190,6 +237,7 @@ let micro () =
              done));
     ]
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let instance = Toolkit.Instance.monotonic_clock in
@@ -203,11 +251,64 @@ let micro () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-36s %14.0f ns/run\n" name est
+          | Some [ est ] ->
+            Printf.printf "%-36s %14.0f ns/run\n" name est;
+            rows :=
+              row "priority" name
+                [ ("nodes", Bench_json.Int (Aig.num_gates net));
+                  ("seconds", Bench_json.Float (est *. 1e-9)) ]
+              :: !rows
           | Some _ | None -> Printf.printf "%-36s (no estimate)\n" name)
         results)
     tests;
-  print_newline ()
+  print_newline ();
+  Bench_json.write "micro" (List.rev !rows)
+
+(* -------------------------------------------------------------------- *)
+(* Cuts: dedicated sweep of the cut-enumeration kernel across suite      *)
+(* sizes — the perf trail for the signature-accelerated priority-cut     *)
+(* engine (see EXPERIMENTS.md, "Cut kernel").                            *)
+(* -------------------------------------------------------------------- *)
+
+let cuts_bench () =
+  print_endline "=== Cut-enumeration kernel sweep ===";
+  let module Cuts_a = Cuts.Make (Aig) in
+  Printf.printf "%-12s %8s | %4s %10s %10s %10s\n" "benchmark" "nodes" "k"
+    "cuts" "ms/enum" "cuts/s";
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let net = Suite.build name in
+      let nodes = Aig.num_gates net in
+      let iters = if nodes > 2000 then 3 else 10 in
+      List.iter
+        (fun k ->
+          (* warm-up enumeration also gives us the cut count *)
+          let r = Cuts_a.enumerate net ~k ~cut_limit:8 () in
+          let num_cuts = ref 0 in
+          Aig.foreach_gate net (fun n ->
+              num_cuts := !num_cuts + Array.length (Cuts_a.cuts_array r n));
+          let num_cuts = !num_cuts in
+          let _, t =
+            time_it (fun () ->
+                for _ = 1 to iters do
+                  ignore (Cuts_a.enumerate net ~k ~cut_limit:8 ())
+                done)
+          in
+          let per = t /. float_of_int iters in
+          Printf.printf "%-12s %8d | %4d %10d %10.2f %10.0f\n%!" name nodes k
+            num_cuts (per *. 1e3)
+            (float_of_int num_cuts /. per);
+          rows :=
+            row name (Printf.sprintf "k%d" k)
+              [ ("nodes", Bench_json.Int nodes);
+                ("cuts", Bench_json.Int num_cuts);
+                ("seconds", Bench_json.Float per) ]
+            :: !rows)
+        [ 4; 6 ])
+    [ "adder"; "priority"; "sin"; "multiplier"; "voter" ];
+  print_newline ();
+  Bench_json.write "cuts" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)
 (* Ablations: the design choices DESIGN.md calls out.                    *)
@@ -219,6 +320,10 @@ let ablation () =
   let bench_subset = [ "adder"; "int2float"; "priority"; "sin"; "cavlc" ] in
   let total f =
     List.fold_left (fun acc name -> acc + f (Suite.build name)) 0 bench_subset
+  in
+  let rows = ref [] in
+  let ab ?(benchmark = "subset") stage fields =
+    rows := row benchmark stage fields :: !rows
   in
   (* 1: rewriting database vs factored-form fallback only *)
   let env = Flow.aig_env () in
@@ -236,6 +341,8 @@ let ablation () =
   Printf.printf
     "rewrite: exact-synthesis db %d gates vs factored fallback %d gates\n"
     with_db without_db;
+  ab "rewrite-db" [ ("nodes", Bench_json.Int with_db) ];
+  ab "rewrite-factored" [ ("nodes", Bench_json.Int without_db) ];
   (* 2: resubstitution with and without 2-resub *)
   let module Rs = Resub.Make (Aig) in
   let resub_total max_inserted =
@@ -243,16 +350,21 @@ let ablation () =
         ignore (Rs.run t ~kernel:Resub.And_or ~max_leaves:10 ~max_inserted ());
         Aig.num_gates t)
   in
-  Printf.printf "resub: k<=1 -> %d gates, k<=2 -> %d gates\n" (resub_total 1)
-    (resub_total 2);
+  let rs1 = resub_total 1 and rs2 = resub_total 2 in
+  Printf.printf "resub: k<=1 -> %d gates, k<=2 -> %d gates\n" rs1 rs2;
+  ab "resub-k1" [ ("nodes", Bench_json.Int rs1) ];
+  ab "resub-k2" [ ("nodes", Bench_json.Int rs2) ];
   (* 3: LUT mapping with and without area recovery *)
   let lut_total iters =
     total (fun t ->
         let m = L.map t ~k:6 ~area_iterations:iters () in
         m.L.lut_count)
   in
-  Printf.printf "lutmap: no area recovery %d LUTs, 2 area passes %d LUTs\n"
-    (lut_total 0) (lut_total 2);
+  let lm0 = lut_total 0 and lm2 = lut_total 2 in
+  Printf.printf "lutmap: no area recovery %d LUTs, 2 area passes %d LUTs\n" lm0
+    lm2;
+  ab "lutmap-area0" [ ("luts", Bench_json.Int lm0) ];
+  ab "lutmap-area2" [ ("luts", Bench_json.Int lm2) ];
   (* 4: balancing inside the flow *)
   let env2 = Flow.aig_env () in
   let with_bal =
@@ -263,6 +375,8 @@ let ablation () =
   in
   Printf.printf "flow: with balancing %d gates, without %d gates\n" with_bal
     without_bal;
+  ab "flow-balanced" [ ("nodes", Bench_json.Int with_bal) ];
+  ab "flow-unbalanced" [ ("nodes", Bench_json.Int without_bal) ];
   (* 5: MIG rewriting with native MAJ exact synthesis vs AIG-database
      conversion (the containment remark of paper §2.3.3) *)
   let module Fm = Flow.Make (Mig) in
@@ -282,6 +396,8 @@ let ablation () =
   Printf.printf
     "mig rewrite: native MAJ3 db %d gates vs AIG-db conversion %d gates\n"
     native via_aig;
+  ab "mig-native-db" [ ("nodes", Bench_json.Int native) ];
+  ab "mig-aig-db" [ ("nodes", Bench_json.Int via_aig) ];
   (* 6: resubstitution with observability don't-cares *)
   let module Rs2 = Resub.Make (Aig) in
   let odc_total use_odc =
@@ -289,8 +405,10 @@ let ablation () =
         ignore (Rs2.run t ~kernel:Resub.And_or ~max_inserted:2 ~use_odc ());
         Aig.num_gates t)
   in
-  Printf.printf "resub: plain %d gates, with ODCs %d gates\n" (odc_total false)
-    (odc_total true);
+  let odc_no = odc_total false and odc_yes = odc_total true in
+  Printf.printf "resub: plain %d gates, with ODCs %d gates\n" odc_no odc_yes;
+  ab "resub-plain" [ ("nodes", Bench_json.Int odc_no) ];
+  ab "resub-odc" [ ("nodes", Bench_json.Int odc_yes) ];
   (* 7: exact synthesis, incremental vs fence topologies (time per class) *)
   let synth_all strategy =
     let t0 = Unix.gettimeofday () in
@@ -300,10 +418,13 @@ let ablation () =
     done;
     Unix.gettimeofday () -. t0
   in
+  let t_inc = synth_all Exact_synth.Incremental in
+  let t_fen = synth_all Exact_synth.Fences in
   Printf.printf
     "exact synthesis of all 256 3-var functions: incremental %.2fs, fences %.2fs\n"
-    (synth_all Exact_synth.Incremental)
-    (synth_all Exact_synth.Fences);
+    t_inc t_fen;
+  ab "exact-incremental" [ ("seconds", Bench_json.Float t_inc) ];
+  ab "exact-fences" [ ("seconds", Bench_json.Float t_fen) ];
   (* 8: MIG algebraic depth rewriting on the carry-chain benchmarks *)
   let module Dm = Depth.Make (Mig) in
   let module Sm = Suite_gen.Make (Mig) in
@@ -314,9 +435,13 @@ let ablation () =
       let g = Mig.num_gates t in
       let _ = Mig_algebraic.run t ~size_budget:g () in
       Printf.printf "mig algebraic depth (%s): %d -> %d levels (gates %d -> %d)\n"
-        name before (Dm.depth t) g (Mig.num_gates t))
+        name before (Dm.depth t) g (Mig.num_gates t);
+      ab ~benchmark:name "mig-algebraic"
+        [ ("levels", Bench_json.Int (Dm.depth t));
+          ("nodes", Bench_json.Int (Mig.num_gates t)) ])
     [ "adder"; "voter" ];
-  print_newline ()
+  print_newline ();
+  Bench_json.write "ablation" (List.rev !rows)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -324,13 +449,15 @@ let () =
   | "table1" -> table1 ()
   | "table2" -> table2 ()
   | "micro" -> micro ()
+  | "cuts" -> cuts_bench ()
   | "ablation" -> ablation ()
   | "all" ->
     micro ();
+    cuts_bench ();
     table1 ();
     table2 ();
     ablation ()
   | other ->
-    Printf.eprintf "unknown bench target %s (table1|table2|micro|ablation|all)\n"
-      other;
+    Printf.eprintf
+      "unknown bench target %s (table1|table2|micro|cuts|ablation|all)\n" other;
     exit 1

@@ -1,7 +1,15 @@
 (* The portfolio approach advocated in the paper's §3: run the same generic
    flow with every representation, map each result into 6-LUTs, and keep
    the best.  Also the driver behind Table 2's per-representation
-   columns. *)
+   columns.
+
+   The three per-representation flows are independent — each owns its
+   network copy and its exact-synthesis environment — so by default they
+   run on separate OCaml 5 domains and the portfolio costs the *maximum*
+   of the per-representation times instead of their sum (see DESIGN.md,
+   "Domain-parallel portfolio").  Conversions happen up front on the
+   calling domain because [Convert] marks traversal state on the source
+   network; sharing [baseline] across domains would race. *)
 
 open Network
 
@@ -38,18 +46,24 @@ let time_it f =
 
 (* Run the given script on all three representations of [baseline].  Pass
    [envs] to reuse exact-synthesis databases across benchmarks (they are
-   keyed by NPN class, so they warm up once per process). *)
-let run ?(script = Script.compress2rs) ?(k = 6) ?envs (baseline : Aig.t) :
-    result =
+   keyed by NPN class, so they warm up once per process); each environment
+   is only ever touched by its own representation's domain.  [parallel]
+   falls back to sequential execution, e.g. for deterministic timing of the
+   individual flows. *)
+let run ?(script = Script.compress2rs) ?(k = 6) ?envs ?(parallel = true)
+    (baseline : Aig.t) : result =
   let env_aig, env_mig, env_xag =
     match envs with
     | Some (a, m, x) -> (a, m, x)
     | None -> (Engine.aig_env (), Engine.mig_env (), Engine.xag_env ())
   in
-  let aig_entry =
-    let net = Copy_aig.convert baseline in
-    let env = env_aig in
-    let opt, t_opt = time_it (fun () -> Flow_aig.run_script env net script) in
+  let net_aig = Copy_aig.convert baseline in
+  let net_mig = To_mig.convert baseline in
+  let net_xag = To_xag.convert baseline in
+  let aig_job () =
+    let opt, t_opt =
+      time_it (fun () -> Flow_aig.run_script env_aig net_aig script)
+    in
     let m, t_map = time_it (fun () -> Lut_aig.map opt ~k ()) in
     let s = Flow_aig.network_stats opt in
     {
@@ -61,10 +75,10 @@ let run ?(script = Script.compress2rs) ?(k = 6) ?envs (baseline : Aig.t) :
       time = t_opt +. t_map;
     }
   in
-  let mig_entry =
-    let net = To_mig.convert baseline in
-    let env = env_mig in
-    let opt, t_opt = time_it (fun () -> Flow_mig.run_script env net script) in
+  let mig_job () =
+    let opt, t_opt =
+      time_it (fun () -> Flow_mig.run_script env_mig net_mig script)
+    in
     let m, t_map = time_it (fun () -> Lut_mig.map opt ~k ()) in
     let s = Flow_mig.network_stats opt in
     {
@@ -76,10 +90,10 @@ let run ?(script = Script.compress2rs) ?(k = 6) ?envs (baseline : Aig.t) :
       time = t_opt +. t_map;
     }
   in
-  let xag_entry =
-    let net = To_xag.convert baseline in
-    let env = env_xag in
-    let opt, t_opt = time_it (fun () -> Flow_xag.run_script env net script) in
+  let xag_job () =
+    let opt, t_opt =
+      time_it (fun () -> Flow_xag.run_script env_xag net_xag script)
+    in
     let m, t_map = time_it (fun () -> Lut_xag.map opt ~k ()) in
     let s = Flow_xag.network_stats opt in
     {
@@ -91,10 +105,19 @@ let run ?(script = Script.compress2rs) ?(k = 6) ?envs (baseline : Aig.t) :
       time = t_opt +. t_map;
     }
   in
-  let entries = [ aig_entry; mig_entry; xag_entry ] in
+  let entries =
+    if parallel then begin
+      let d_mig = Domain.spawn mig_job in
+      let d_xag = Domain.spawn xag_job in
+      let aig_entry = aig_job () in
+      [ aig_entry; Domain.join d_mig; Domain.join d_xag ]
+    end
+    else [ aig_job (); mig_job (); xag_job () ]
+  in
   let best =
-    List.fold_left
-      (fun acc e -> if e.luts < acc.luts then e else acc)
-      aig_entry entries
+    match entries with
+    | first :: rest ->
+      List.fold_left (fun acc e -> if e.luts < acc.luts then e else acc) first rest
+    | [] -> assert false
   in
   { entries; best }

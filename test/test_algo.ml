@@ -560,9 +560,104 @@ let test_mffc_respects_po_refs () =
   Aig.create_po t ab;
   Alcotest.(check int) "mffc of f excludes ab" 1 (Mffc_aig.size t (Aig.node_of_signal f))
 
+(* -- cuts on k-LUT networks (node-function cache regression) -- *)
+
+let test_cuts_klut_distinct_luts () =
+  (* Two LUT nodes with the same arity but different functions: a node-
+     function cache keyed by (kind, fanin arity) alone would conflate
+     them, so [Cuts] must read the table off the node for LUT kinds. *)
+  let module Cuts_k = Algo.Cuts.Make (Klut) in
+  let module Sim_k = Algo.Simulate.Make (Klut) in
+  let t = Klut.create () in
+  let a = Klut.create_pi t and b = Klut.create_pi t and c = Klut.create_pi t in
+  let xor3 = Klut.create_lut t [| a; b; c |] (Tt.of_hex 3 "96") in
+  let maj3 = Klut.create_lut t [| a; b; c |] (Tt.of_hex 3 "e8") in
+  Klut.create_po t xor3;
+  Klut.create_po t maj3;
+  let r = Cuts_k.enumerate t ~k:4 ~cut_limit:8 () in
+  let values = Sim_k.simulate_exhaustive t in
+  let check_node s =
+    let n = Klut.node_of_signal s in
+    let cuts = Cuts_k.cuts_of r n in
+    Alcotest.(check bool) "has cuts" true (cuts <> []);
+    List.iter
+      (fun cut ->
+        let args = Array.map (fun l -> values.(l)) cut.Cuts_k.leaves in
+        Alcotest.(check tt_testable) "klut cut function" values.(n)
+          (Tt.apply cut.Cuts_k.tt args))
+      cuts
+  in
+  check_node xor3;
+  check_node maj3;
+  (* the two full {a,b,c} cuts must carry *different* functions *)
+  let full s =
+    List.find
+      (fun cut -> Array.length cut.Cuts_k.leaves = 3)
+      (Cuts_k.cuts_of r (Klut.node_of_signal s))
+  in
+  Alcotest.(check bool) "distinct same-arity LUT functions" false
+    (Tt.equal (full xor3).Cuts_k.tt (full maj3).Cuts_k.tt)
+
+(* -- property: cut sets on random Lsgen networks -- *)
+
+(* sorted-leaf subset test, mirroring the dominance definition *)
+let leaves_subset a b =
+  let la = Array.length a and lb = Array.length b in
+  la <= lb
+  &&
+  let i = ref 0 and j = ref 0 in
+  while !i < la && !j < lb do
+    if a.(!i) = b.(!j) then begin
+      incr i;
+      incr j
+    end
+    else if a.(!i) > b.(!j) then incr j
+    else j := lb (* a.(i) missing from b *)
+  done;
+  !i = la
+
+let prop_cuts_random =
+  QCheck.Test.make
+    ~name:"cuts: functions match bit-parallel simulation, no dominated cut"
+    ~count:15
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let t = Aig.create () in
+      let module C = Lsgen.Control.Make (Aig) in
+      C.random_logic t ~seed ~num_pis:8 ~num_pos:4 ~num_gates:80;
+      let r = Cuts_aig.enumerate t ~k:6 ~cut_limit:8 () in
+      let values =
+        Sim_aig.simulate t (Sim_aig.random_values ~num_vars:6 ~seed:(seed + 1) t)
+      in
+      let ok = ref true in
+      Aig.foreach_gate t (fun n ->
+          let cuts = Cuts_aig.cuts_array r n in
+          Array.iter
+            (fun cut ->
+              let args =
+                Array.map (fun l -> values.(l)) cut.Cuts_aig.leaves
+              in
+              if not (Tt.equal values.(n) (Tt.apply cut.Cuts_aig.tt args)) then
+                ok := false)
+            cuts;
+          let m = Array.length cuts in
+          for i = 0 to m - 1 do
+            for j = 0 to m - 1 do
+              if
+                i <> j
+                && leaves_subset cuts.(i).Cuts_aig.leaves
+                     cuts.(j).Cuts_aig.leaves
+              then ok := false
+            done
+          done);
+      !ok)
+
 let extra_suite =
   [
     Alcotest.test_case "cuts k=6 functions" `Quick test_cuts_k6;
+    Alcotest.test_case "cuts on klut with distinct luts" `Quick
+      test_cuts_klut_distinct_luts;
+    QCheck_alcotest.to_alcotest prop_cuts_random;
     Alcotest.test_case "cuts on mig" `Quick test_cuts_mig;
     Alcotest.test_case "window divisors" `Quick test_window_divisors;
     Alcotest.test_case "lutmap k=4" `Quick test_lutmap_k4;
