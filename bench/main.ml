@@ -58,6 +58,7 @@ let table1 () =
   let env_spec = Flow.aig_env () in
   let env_gen = Flow.aig_env () in
   let module F = Flow.Make (Aig) in
+  let trace = Trace.create ~flow:"table1" () in
   let rows = ref [] in
   List.iter
     (fun name ->
@@ -67,10 +68,13 @@ let table1 () =
             Flow.Specialized_aig.run_script env_spec (Copy.convert baseline)
               Script.compress2rs)
       in
+      let tr = Trace.child trace ~flow:name in
       let gen, t_gen =
         time_it (fun () ->
-            F.run_script env_gen (Copy.convert baseline) Script.compress2rs)
+            F.run_script env_gen ~trace:tr (Copy.convert baseline)
+              Script.compress2rs)
       in
+      Trace.merge trace [ tr ];
       let m_spec = L.map spec ~k:6 () in
       let m_gen = L.map gen ~k:6 () in
       let nd_s = Aig.num_gates spec and nd_g = Aig.num_gates gen in
@@ -105,6 +109,9 @@ let table1 () =
     (pct !tot_spec_lvl !tot_gen_lvl)
     (pct !tot_spec_lut !tot_gen_lut);
   Printf.printf "(paper Table 1: +1.14%% Nd, +3.02%% Lvl, +0.65%% LUTs)\n\n";
+  Trace.write_file trace "TRACE_table1.jsonl";
+  Printf.printf "[bench] wrote TRACE_table1.jsonl (%d events)\n%!"
+    (List.length (Trace.events trace));
   Bench_json.write "table1" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)
@@ -112,11 +119,11 @@ let table1 () =
 (* -------------------------------------------------------------------- *)
 
 let table2 () =
-  print_endline "=== Table 2: EPFL-suite stand-ins, three representations ===";
+  print_endline "=== Table 2: EPFL-suite stand-ins, four representations ===";
   Printf.printf
-    "%-12s %8s | %6s %4s %5s | %6s %4s %5s %6s | %6s %4s %5s %6s | %6s %4s %5s %6s\n"
+    "%-12s %8s | %6s %4s %5s | %6s %4s %5s %6s | %6s %4s %5s %6s | %6s %4s %5s %6s | %6s %4s %5s %6s\n"
     "benchmark" "i/o" "B.Nd" "Lvl" "LUTs" "A.Nd" "Lvl" "LUTs" "time" "M.Nd"
-    "Lvl" "LUTs" "time" "X.Nd" "Lvl" "LUTs" "time";
+    "Lvl" "LUTs" "time" "X.Nd" "Lvl" "LUTs" "time" "XM.Nd" "Lvl" "LUTs" "time";
   let tot = Hashtbl.create 8 in
   let add key v =
     Hashtbl.replace tot key (v + Option.value ~default:0 (Hashtbl.find_opt tot key))
@@ -126,26 +133,39 @@ let table2 () =
       (int_of_float (v *. 100.0)
       + Option.value ~default:0 (Hashtbl.find_opt tot key))
   in
-  let envs = (Flow.aig_env (), Flow.mig_env (), Flow.xag_env ()) in
+  let envs =
+    [
+      ("aig", Flow.aig_env ());
+      ("mig", Flow.mig_env ());
+      ("xag", Flow.xag_env ());
+      ("xmg", Flow.xmg_env ());
+    ]
+  in
+  let trace = Trace.create ~flow:"table2" () in
   let rows = ref [] in
   List.iter
     (fun name ->
       let baseline = Suite.build name in
       let mb = L.map baseline ~k:6 () in
-      let r, wall = time_it (fun () -> Flow.Portfolio.run ~envs baseline) in
+      let tr = Trace.child trace ~flow:name in
+      let r, wall =
+        time_it (fun () -> Flow.Portfolio.run ~envs ~trace:tr baseline)
+      in
+      Trace.merge trace [ tr ];
       let find rep =
         List.find
           (fun (e : Flow.Portfolio.entry) -> e.representation = rep)
           r.entries
       in
       let a = find "aig" and m = find "mig" and x = find "xag" in
-      let sum = a.time +. m.time +. x.time in
+      let xm = find "xmg" in
+      let sum = a.time +. m.time +. x.time +. xm.time in
       Printf.printf
-        "%-12s %3d/%-4d | %6d %4d %5d | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | wall %5.1fs (sum %5.1fs)\n%!"
+        "%-12s %3d/%-4d | %6d %4d %5d | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | %6d %4d %5d %5.1fs | wall %5.1fs (sum %5.1fs)\n%!"
         name (Aig.num_pis baseline) (Aig.num_pos baseline)
         (Aig.num_gates baseline) (D.depth baseline) mb.L.lut_count a.nodes
         a.levels a.luts a.time m.nodes m.levels m.luts m.time x.nodes x.levels
-        x.luts x.time wall sum;
+        x.luts x.time xm.nodes xm.levels xm.luts xm.time wall sum;
       let entry_row (e : Flow.Portfolio.entry) =
         row name e.representation
           [ ("nodes", Bench_json.Int e.nodes);
@@ -159,7 +179,7 @@ let table2 () =
           [ ("luts", Bench_json.Int r.best.luts);
             ("seconds", Bench_json.Float wall);
             ("seconds_sum", Bench_json.Float sum) ]
-        :: entry_row x :: entry_row m :: entry_row a
+        :: entry_row xm :: entry_row x :: entry_row m :: entry_row a
         :: row name "baseline"
              [ ("nodes", Bench_json.Int (Aig.num_gates baseline));
                ("levels", Bench_json.Int (D.depth baseline));
@@ -169,31 +189,41 @@ let table2 () =
       add "aig_luts" a.luts;
       add "mig_luts" m.luts;
       add "xag_luts" x.luts;
+      add "xmg_luts" xm.luts;
       add "best_luts" r.best.luts;
       addf "aig_time" a.time;
       addf "mig_time" m.time;
       addf "xag_time" x.time;
+      addf "xmg_time" xm.time;
       addf "wall_time" wall)
     suite;
   let get k = Option.value ~default:0 (Hashtbl.find_opt tot k) in
   let imp v = -.pct (get "base_luts") v in
-  Printf.printf "\nTotal 6-LUTs: baseline %d  aig %d  mig %d  xag %d  portfolio %d\n"
-    (get "base_luts") (get "aig_luts") (get "mig_luts") (get "xag_luts")
-    (get "best_luts");
   Printf.printf
-    "Total time:   aig %.1fs  mig %.1fs  xag %.1fs  | portfolio wall %.1fs (sum %.1fs)\n"
+    "\nTotal 6-LUTs: baseline %d  aig %d  mig %d  xag %d  xmg %d  portfolio %d\n"
+    (get "base_luts") (get "aig_luts") (get "mig_luts") (get "xag_luts")
+    (get "xmg_luts") (get "best_luts");
+  Printf.printf
+    "Total time:   aig %.1fs  mig %.1fs  xag %.1fs  xmg %.1fs  | portfolio wall %.1fs (sum %.1fs)\n"
     (float_of_int (get "aig_time") /. 100.0)
     (float_of_int (get "mig_time") /. 100.0)
     (float_of_int (get "xag_time") /. 100.0)
+    (float_of_int (get "xmg_time") /. 100.0)
     (float_of_int (get "wall_time") /. 100.0)
-    (float_of_int (get "aig_time" + get "mig_time" + get "xag_time") /. 100.0);
+    (float_of_int
+       (get "aig_time" + get "mig_time" + get "xag_time" + get "xmg_time")
+    /. 100.0);
   Printf.printf
-    "LUT improvement: aig %.2f%%  mig %.2f%%  xag %.2f%%  portfolio %.2f%%\n"
+    "LUT improvement: aig %.2f%%  mig %.2f%%  xag %.2f%%  xmg %.2f%%  portfolio %.2f%%\n"
     (imp (get "aig_luts")) (imp (get "mig_luts")) (imp (get "xag_luts"))
+    (imp (get "xmg_luts"))
     (imp (get "best_luts"));
   print_endline
     "(paper Table 2: aig +30.04%, mig +27.78%, xag +31.39% portfolio; \
      abstract: 29.53/27.01/29.82)\n";
+  Trace.write_file trace "TRACE_table2.jsonl";
+  Printf.printf "[bench] wrote TRACE_table2.jsonl (%d events)\n%!"
+    (List.length (Trace.events trace));
   Bench_json.write "table2" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)

@@ -62,19 +62,41 @@ let script_arg =
     & opt string Genlog.Script.compress2rs
     & info [ "s"; "script" ] ~docv:"SCRIPT")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL pass-level trace (one event per line) to $(docv).")
+
+let stats_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:"Print a per-pass summary table (gates/depth deltas, wall time, \
+              per-algorithm counters) to stderr.")
+
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
   in
-  let run file rep script output =
+  let run file rep script output trace_file stats =
     let t = read_aig file in
     Printf.eprintf "baseline: %s\n%!" (stats_of_aig t);
+    let rep_name =
+      match rep with `Aig -> "aig" | `Mig -> "mig" | `Xag -> "xag" | `Xmg -> "xmg"
+    in
+    let trace =
+      if trace_file <> None || stats then Genlog.Trace.create ~flow:rep_name ()
+      else Genlog.Trace.null
+    in
     let optimized_aig =
       match rep with
       | `Aig ->
         let module F = Genlog.Flow.Make (Aig) in
-        let r = F.run_script (Genlog.Flow.aig_env ()) t script in
+        let r = F.run_script (Genlog.Flow.aig_env ()) ~trace t script in
         Printf.eprintf "aig: gates = %d depth = %d\n%!" (Aig.num_gates r) (D.depth r);
         r
       | `Mig ->
@@ -82,7 +104,7 @@ let opt_cmd =
         let module Cb = Genlog.Convert.Make (Genlog.Mig) (Aig) in
         let module F = Genlog.Flow.Make (Genlog.Mig) in
         let module Dm = Genlog.Depth.Make (Genlog.Mig) in
-        let r = F.run_script (Genlog.Flow.mig_env ()) (C.convert t) script in
+        let r = F.run_script (Genlog.Flow.mig_env ()) ~trace (C.convert t) script in
         Printf.eprintf "mig: gates = %d depth = %d (written back as AIG)\n%!"
           (Genlog.Mig.num_gates r) (Dm.depth r);
         Cb.convert r
@@ -91,7 +113,7 @@ let opt_cmd =
         let module Cb = Genlog.Convert.Make (Genlog.Xag) (Aig) in
         let module F = Genlog.Flow.Make (Genlog.Xag) in
         let module Dx = Genlog.Depth.Make (Genlog.Xag) in
-        let r = F.run_script (Genlog.Flow.xag_env ()) (C.convert t) script in
+        let r = F.run_script (Genlog.Flow.xag_env ()) ~trace (C.convert t) script in
         Printf.eprintf "xag: gates = %d depth = %d (written back as AIG)\n%!"
           (Genlog.Xag.num_gates r) (Dx.depth r);
         Cb.convert r
@@ -100,18 +122,24 @@ let opt_cmd =
         let module Cb = Genlog.Convert.Make (Genlog.Xmg) (Aig) in
         let module F = Genlog.Flow.Make (Genlog.Xmg) in
         let module Dx = Genlog.Depth.Make (Genlog.Xmg) in
-        let r = F.run_script (Genlog.Flow.xmg_env ()) (C.convert t) script in
+        let r = F.run_script (Genlog.Flow.xmg_env ()) ~trace (C.convert t) script in
         Printf.eprintf "xmg: gates = %d depth = %d (written back as AIG)\n%!"
           (Genlog.Xmg.num_gates r) (Dx.depth r);
         Cb.convert r
     in
+    (match trace_file with
+    | Some path -> Genlog.Trace.write_file trace path
+    | None -> ());
+    if stats then
+      Format.eprintf "%a%!" Genlog.Trace.pp_summary trace;
     match output with
     | Some path -> Genlog.Aiger.write_file optimized_aig path
     | None -> Genlog.Aiger.write optimized_aig stdout
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Optimize with the generic resynthesis flow")
-    Term.(const run $ file $ representation $ script_arg $ output)
+    Term.(const run $ file $ representation $ script_arg $ output $ trace_arg
+          $ stats_flag)
 
 (* -- map -- *)
 

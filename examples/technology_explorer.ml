@@ -1,9 +1,9 @@
 (* Technology explorer: the paper's portfolio approach (§3, conclusion).
 
-   The same generic flow runs on AIG, MIG and XAG representations of one
-   design; each result is mapped into 6-LUTs and the best representation
-   wins.  Arithmetic circuits tend to favour MIGs (majority carries),
-   XOR-rich ones favour XAGs — run it on a multiplier and see.
+   The same generic flow runs on AIG, MIG, XAG and XMG representations of
+   one design; each result is mapped into 6-LUTs and the best
+   representation wins.  Arithmetic circuits tend to favour MIGs (majority
+   carries), XOR-rich ones favour XAGs — run it on a multiplier and see.
 
    Run with:  dune exec examples/technology_explorer.exe -- [benchmark] *)
 

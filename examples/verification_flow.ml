@@ -37,7 +37,7 @@ let () =
   let diff, _ = B.subtract t sum b in
   (* datapath 2: the identity, built directly *)
   let equal_bits =
-    List.init 8 (fun i -> Aig.create_not (Aig.create_xor t diff.(i) a.(i)))
+    List.init 8 (fun i -> Aig.complement (Aig.create_xor t diff.(i) a.(i)))
   in
   Aig.create_po t (Aig.create_nary_and t equal_bits);
   B.output_word t sum;

@@ -80,7 +80,8 @@ module Make (N : Network.Intf.NETWORK) = struct
     go q
 
   (* One balancing pass.  Returns the number of substitutions applied. *)
-  let run (net : N.t) : int =
+  let run ?(trace = Obs.Trace.null) (net : N.t) : int =
+    let tried = ref 0 in
     let levels, _ = Dp.compute net in
     let overlay = Hashtbl.create 64 in
     let rec level_of n =
@@ -99,6 +100,7 @@ module Make (N : Network.Intf.NETWORK) = struct
     let substitutions = ref 0 in
     let apply n leaves combine =
       if List.length leaves >= 3 then begin
+        incr tried;
         let s = rebuild net ~level_of combine leaves in
         let leaf_nodes = Array.of_list (List.map N.node_of_signal leaves) in
         if
@@ -140,5 +142,11 @@ module Make (N : Network.Intf.NETWORK) = struct
           | Network.Kind.Lut _ | Network.Kind.Const | Network.Kind.Pi -> ()
         end)
       nodes;
+    Obs.Trace.report trace ~algo:"balance"
+      [
+        ("tried", !tried);
+        ("accepted", !substitutions);
+        ("rejected", !tried - !substitutions);
+      ];
     !substitutions
 end

@@ -11,7 +11,7 @@ type result =
   | Counterexample of bool array  (* PI assignment *)
   | Unknown
 
-module Make (A : Network.Intf.NETWORK) (B : Network.Intf.NETWORK) = struct
+module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = struct
   module Ta = Topo.Make (A)
   module Tb = Topo.Make (B)
 
@@ -19,7 +19,7 @@ module Make (A : Network.Intf.NETWORK) (B : Network.Intf.NETWORK) = struct
      every node (index -1 where a node was not reachable).  [pi_vars.(i)] is
      the shared variable of primary input i.  Also used by [Fraig] for SAT
      sweeping. *)
-  let encode_nodes (type t) (module N : Network.Intf.NETWORK with type t = t)
+  let encode_nodes (type t) (module N : Network.Intf.TRAVERSABLE with type t = t)
       (net : t) solver (pi_vars : int array) const_var : int array =
     let module Tn = Topo.Make (N) in
     let node_var = Array.make (N.size net) (-1) in
@@ -79,7 +79,7 @@ module Make (A : Network.Intf.NETWORK) (B : Network.Intf.NETWORK) = struct
     node_var
 
   (* Encode a network and return literals for its primary outputs. *)
-  let encode (type t) (module N : Network.Intf.NETWORK with type t = t)
+  let encode (type t) (module N : Network.Intf.TRAVERSABLE with type t = t)
       (net : t) solver (pi_vars : int array) const_var =
     let node_var = encode_nodes (module N) net solver pi_vars const_var in
     Array.map

@@ -21,7 +21,7 @@
 
 open Kitty
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.TRAVERSABLE) = struct
   module T = Topo.Make (N)
 
   type cut = {

@@ -1,7 +1,7 @@
 (* Logic depth under the unit-delay model — the paper's Algorithm 1,
    expressed against the network interface API only. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.TRAVERSABLE) = struct
   module T = Topo.Make (N)
 
   (* Level of every node (array indexed by node id) and the network depth. *)

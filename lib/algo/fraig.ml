@@ -10,7 +10,7 @@
 
 open Kitty
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.SWEEPABLE) = struct
   module Sim = Simulate.Make (N)
   module T = Topo.Make (N)
   module C = Cec.Make (N) (N)
@@ -22,8 +22,8 @@ module Make (N : Network.Intf.NETWORK) = struct
     mutable unknown : int;      (* conflict budget exhausted *)
   }
 
-  let run (net : N.t) ?(num_vars = 8) ?(seed = 1) ?(conflict_budget = 2_000) ()
-      : stats =
+  let run (net : N.t) ?(trace = Obs.Trace.null) ?(num_vars = 8) ?(seed = 1)
+      ?(conflict_budget = 2_000) () : stats =
     let stats = { classes = 0; proved = 0; refuted = 0; unknown = 0 } in
     (* 1. signatures from random simulation *)
     let values = Sim.simulate net (Sim.random_values ~num_vars ~seed net) in
@@ -103,5 +103,12 @@ module Make (N : Network.Intf.NETWORK) = struct
           N.substitute_node net m
             (N.complement_if flip (N.signal_of_node rep)))
       (List.rev !merges);
+    Obs.Trace.report trace ~algo:"fraig"
+      [
+        ("classes", stats.classes);
+        ("proved", stats.proved);
+        ("refuted", stats.refuted);
+        ("unknown", stats.unknown);
+      ];
     stats
 end

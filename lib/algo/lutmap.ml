@@ -4,7 +4,7 @@
    counterpart of conventional cut-based FPGA mappers and produces the
    LUT counts reported in the paper's Tables 1 and 2. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.COUNTED) = struct
   module C = Cuts.Make (N)
   module T = Topo.Make (N)
 
@@ -20,8 +20,8 @@ module Make (N : Network.Intf.NETWORK) = struct
   (* Choose, for every gate, a best cut in two modes:
      - depth mode: minimize (arrival, area flow),
      - area mode: minimize (area flow, arrival) subject to required time. *)
-  let map (net : N.t) ?(k = 6) ?(cut_limit = 12) ?(area_iterations = 2) () :
-      mapping =
+  let map (net : N.t) ?(trace = Obs.Trace.null) ?(k = 6) ?(cut_limit = 12)
+      ?(area_iterations = 2) () : mapping =
     (* wide cuts make small covers: prefer large cuts under the cap *)
     let cuts = C.enumerate net ~k ~cut_limit ~prefer:`Large () in
     let order = T.order net in
@@ -150,5 +150,12 @@ module Make (N : Network.Intf.NETWORK) = struct
         let m = realize (N.node_of_signal s) in
         K.create_po klut (K.complement_if (N.is_complemented s) m));
     let module Dk = Depth.Make (Network.Klut) in
-    { klut; lut_count = K.num_gates klut; depth = Dk.depth klut }
+    let mapping = { klut; lut_count = K.num_gates klut; depth = Dk.depth klut } in
+    Obs.Trace.report trace ~algo:"lutmap"
+      [
+        ("k", k);
+        ("luts", mapping.lut_count);
+        ("lut_depth", mapping.depth);
+      ];
+    mapping
 end

@@ -2,7 +2,7 @@
    (paper §2.2.3): a gate belongs to the MFFC of [n] when removing [n]
    makes its reference count drop to zero. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.COUNTED) = struct
   (* Number of gates that die when [n] is removed (including [n]). *)
   let size (t : N.t) (n : N.node) : int =
     if not (N.is_gate t n) then 0

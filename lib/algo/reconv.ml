@@ -5,7 +5,7 @@
    with zero or negative cost possible, which is what gives resubstitution
    its divisors. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.TRAVERSABLE) = struct
   (* Cost of replacing leaf [l] by its fanins: number of fanins that are not
      yet part of the cut, minus one (for [l] itself leaving). *)
   let expansion_cost (t : N.t) visited_id l =

@@ -12,7 +12,7 @@ module Make (N : Network.Intf.NETWORK) = struct
 
   (* Evaluate replacing the MFFC of [n] by a resynthesized structure;
      substitutes when the gain passes the threshold. *)
-  let try_node net n ~max_inputs ~allow_zero_gain =
+  let try_node net n ~max_inputs ~allow_zero_gain ~tried ~rejected =
     let leaves = M.leaves net n in
     let leaves = List.filter (fun l -> not (N.is_constant net l)) leaves in
     let k = List.length leaves in
@@ -31,6 +31,7 @@ module Make (N : Network.Intf.NETWORK) = struct
         false
       end
       else begin
+        incr tried;
         let freed = 1 + N.recursive_deref net n in
         ignore (N.recursive_ref net n);
         let gain = freed - added in
@@ -39,6 +40,7 @@ module Make (N : Network.Intf.NETWORK) = struct
           true
         end
         else begin
+          incr rejected;
           N.take_out_if_dead net root;
           false
         end
@@ -46,16 +48,24 @@ module Make (N : Network.Intf.NETWORK) = struct
     end
 
   (* One refactoring pass; returns the number of substitutions. *)
-  let run (net : N.t) ?(max_inputs = 10) ?(allow_zero_gain = false) () : int =
+  let run (net : N.t) ?(trace = Obs.Trace.null) ?(max_inputs = 10)
+      ?(allow_zero_gain = false) () : int =
     let substitutions = ref 0 in
+    let tried = ref 0 and rejected = ref 0 in
     List.iter
       (fun n ->
         if
           N.is_gate net n
           && (not (N.is_dead net n))
           && N.ref_count net n > 0
-          && try_node net n ~max_inputs ~allow_zero_gain
+          && try_node net n ~max_inputs ~allow_zero_gain ~tried ~rejected
         then incr substitutions)
       (T.order net);
+    Obs.Trace.report trace ~algo:"refactor"
+      [
+        ("tried", !tried);
+        ("accepted", !substitutions);
+        ("rejected", !rejected);
+      ];
     !substitutions
 end

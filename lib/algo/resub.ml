@@ -252,10 +252,12 @@ module Make (N : Network.Intf.NETWORK) = struct
     go (kernel_candidates kernel k)
 
   (* One resubstitution pass (paper Algorithm 5). *)
-  let run (net : N.t) ~(kernel : kernel) ?(max_leaves = 8)
-      ?(max_divisors = 24) ?(max_inserted = 1) ?(use_odc = false) () : int =
+  let run (net : N.t) ~(kernel : kernel) ?(trace = Obs.Trace.null)
+      ?(max_leaves = 8) ?(max_divisors = 24) ?(max_inserted = 1)
+      ?(use_odc = false) () : int =
     let module O = Odc.Make (N) in
     let substitutions = ref 0 in
+    let tried = ref 0 and rejected = ref 0 in
     List.iter
       (fun n ->
         if N.is_gate net n && (not (N.is_dead net n)) && N.ref_count net n > 0
@@ -300,6 +302,7 @@ module Make (N : Network.Intf.NETWORK) = struct
                   match try_kernel ~care net kernel k lits target with
                   | None -> attempt (k + 1)
                   | Some s ->
+                    incr tried;
                     let added = N.num_gates net - g_before in
                     let root = N.node_of_signal s in
                     let freed = 1 + N.recursive_deref net n in
@@ -313,6 +316,7 @@ module Make (N : Network.Intf.NETWORK) = struct
                       incr substitutions
                     end
                     else begin
+                      incr rejected;
                       N.take_out_if_dead net root;
                       attempt (k + 1)
                     end
@@ -323,5 +327,11 @@ module Make (N : Network.Intf.NETWORK) = struct
           end
         end)
       (T.order net);
+    Obs.Trace.report trace ~algo:"resub"
+      [
+        ("tried", !tried);
+        ("accepted", !substitutions);
+        ("rejected", !rejected);
+      ];
     !substitutions
 end

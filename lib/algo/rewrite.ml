@@ -79,8 +79,8 @@ module Make (N : Network.Intf.NETWORK) = struct
       end
 
   (* One rewriting pass; returns the accumulated gain. *)
-  let run (net : N.t) ~(db : Exact.Database.t) ?(cut_size = 4)
-      ?(cut_limit = 8) ?(allow_zero_gain = false) () : int =
+  let run (net : N.t) ~(db : Exact.Database.t) ?(trace = Obs.Trace.null)
+      ?(cut_size = 4) ?(cut_limit = 8) ?(allow_zero_gain = false) () : int =
     let stats = { candidates = 0; substitutions = 0; gain = 0 } in
     let cuts = C.enumerate net ~k:cut_size ~cut_limit () in
     let nodes = T.order net in
@@ -130,5 +130,12 @@ module Make (N : Network.Intf.NETWORK) = struct
               else N.take_out_if_dead net (N.node_of_signal s))
         end)
       nodes;
+    Obs.Trace.report trace ~algo:"rewrite"
+      [
+        ("tried", stats.candidates);
+        ("accepted", stats.substitutions);
+        ("rejected", stats.candidates - stats.substitutions);
+        ("gain", stats.gain);
+      ];
     stats.gain
 end

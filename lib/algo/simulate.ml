@@ -5,7 +5,7 @@
 
 open Kitty
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.TRAVERSABLE) = struct
   module T = Topo.Make (N)
 
   (* Value of a gate from its fanin values (edge complements applied here). *)
@@ -70,7 +70,7 @@ end
 
 (* Random-simulation equivalence check across two networks (a fast
    necessary condition; the SAT-based [Cec] is the sufficient one). *)
-module Cross (A : Network.Intf.NETWORK) (B : Network.Intf.NETWORK) = struct
+module Cross (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = struct
   module Sa = Make (A)
   module Sb = Make (B)
 

@@ -2,7 +2,7 @@
    first [substitute_node]; algorithms that restructure the graph therefore
    traverse via an explicit DFS from the primary outputs. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.TRAVERSABLE) = struct
   (* Gates reachable from the primary outputs, fanins first. *)
   let order (t : N.t) : N.node list =
     let id = N.new_traversal_id t in

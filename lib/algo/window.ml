@@ -4,7 +4,7 @@
 
 open Kitty
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.COUNTED) = struct
   module S = Simulate.Make (N)
 
   type t = {

@@ -86,6 +86,9 @@ module Suite_gen = Lsgen.Suite
 
 module Suite = Lsgen.Suite.Make (Network.Aig)
 
+(* observability *)
+module Trace = Obs.Trace
+
 (* flows *)
 module Script = Flow.Script
 module Flow = struct

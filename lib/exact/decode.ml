@@ -6,7 +6,7 @@
 open Kitty
 open Network
 
-module Make (N : Intf.NETWORK) = struct
+module Make (N : Intf.BUILDER) = struct
   module B = Build.Make (N)
 
   let xor2_tt = Tt.of_hex 2 "6"

@@ -56,24 +56,60 @@ module Make (N : Network.Intf.NETWORK) = struct
   let network_stats (net : N.t) : stats =
     { nodes = N.num_gates net; levels = Dp.depth net }
 
-  let run_command (env : env) (net : N.t) (cmd : Script.command) : unit =
+  let dispatch (env : env) ~trace (net : N.t) (cmd : Script.command) : unit =
     match cmd with
-    | Script.Balance -> ignore (Bal.run net)
+    | Script.Balance -> ignore (Bal.run ~trace net)
     | Script.Rewrite { zero_gain } ->
-      ignore (Rw.run net ~db:env.db ~allow_zero_gain:zero_gain ())
+      ignore (Rw.run net ~db:env.db ~trace ~allow_zero_gain:zero_gain ())
     | Script.Refactor { zero_gain } ->
       ignore
-        (Rf.run net ~max_inputs:env.max_refactor_inputs
+        (Rf.run net ~trace ~max_inputs:env.max_refactor_inputs
            ~allow_zero_gain:zero_gain ())
     | Script.Resub { cut_size; max_inserted } ->
-      ignore (Rs.run net ~kernel:env.kernel ~max_leaves:cut_size ~max_inserted ())
-    | Script.Fraig -> ignore (Fr.run net ())
+      ignore
+        (Rs.run net ~kernel:env.kernel ~trace ~max_leaves:cut_size
+           ~max_inserted ())
+    | Script.Fraig -> ignore (Fr.run net ~trace ())
+
+  (* Interpret one script command as a traced span: a [pass_begin] /
+     [pass_end] pair bracketing the command, carrying gate count and depth
+     before and after.  With tracing disabled ([Trace.null]) neither stats
+     nor timestamps are computed. *)
+  let run_command (env : env) ?(trace = Obs.Trace.null) ?(index = 0)
+      (net : N.t) (cmd : Script.command) : unit =
+    if not (Obs.Trace.enabled trace) then dispatch env ~trace net cmd
+    else begin
+      let pass = Script.to_string cmd in
+      let { nodes; levels } = network_stats net in
+      let t0 = Unix.gettimeofday () in
+      Obs.Trace.pass_begin trace ~pass ~index ~gates:nodes ~depth:levels;
+      dispatch env ~trace net cmd;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let { nodes; levels } = network_stats net in
+      Obs.Trace.pass_end trace ~pass ~index ~gates:nodes ~depth:levels ~elapsed
+    end
 
   (* Run a script in place; returns a cleaned-up copy (dangling nodes
-     swept). *)
-  let run_script (env : env) (net : N.t) (script : string) : N.t =
-    List.iter (run_command env net) (Script.parse script);
-    Cl.cleanup net
+     swept).  The final sweep is traced as its own "cleanup" span so the
+     last [pass_end] reports the stats of the network actually returned. *)
+  let run_script (env : env) ?(trace = Obs.Trace.null) (net : N.t)
+      (script : string) : N.t =
+    let commands = Script.parse script in
+    List.iteri (fun i cmd -> run_command env ~trace ~index:i net cmd) commands;
+    if not (Obs.Trace.enabled trace) then Cl.cleanup net
+    else begin
+      let index = List.length commands in
+      let { nodes; levels } = network_stats net in
+      let t0 = Unix.gettimeofday () in
+      Obs.Trace.pass_begin trace ~pass:"cleanup" ~index ~gates:nodes
+        ~depth:levels;
+      let cleaned = Cl.cleanup net in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let { nodes; levels } = network_stats cleaned in
+      Obs.Trace.pass_end trace ~pass:"cleanup" ~index ~gates:nodes
+        ~depth:levels ~elapsed;
+      cleaned
+    end
 
-  let compress2rs env net = run_script env net Script.compress2rs
+  let compress2rs ?trace env net = run_script env ?trace net Script.compress2rs
 end

@@ -3,13 +3,20 @@
    the best.  Also the driver behind Table 2's per-representation
    columns.
 
-   The three per-representation flows are independent — each owns its
-   network copy and its exact-synthesis environment — so by default they
-   run on separate OCaml 5 domains and the portfolio costs the *maximum*
-   of the per-representation times instead of their sum (see DESIGN.md,
-   "Domain-parallel portfolio").  Conversions happen up front on the
-   calling domain because [Convert] marks traversal state on the source
-   network; sharing [baseline] across domains would race. *)
+   Portfolio members are first-class [JOB] modules, each packaging one
+   representation's functor instantiations (engine, mapper, converter) plus
+   its default environment.  The default roster is AIG/MIG/XAG/XMG; callers
+   can pass any roster, including custom jobs built with [Make_job].
+
+   The per-representation flows are independent — each owns its network
+   copy, its exact-synthesis environment, and its trace sink — so by
+   default they run on separate OCaml 5 domains and the portfolio costs the
+   *maximum* of the per-representation times instead of their sum (see
+   DESIGN.md, "Domain-parallel portfolio").  Conversions happen up front on
+   the calling domain because [Convert] marks traversal state on the source
+   network; sharing [baseline] across domains would race.  Each domain
+   writes only its own child sink; the parent merges them in join order, so
+   tracing needs no lock. *)
 
 open Network
 
@@ -27,93 +34,125 @@ type result = {
   best : entry;  (* fewest LUTs *)
 }
 
-module Lut_aig = Algo.Lutmap.Make (Aig)
-module Lut_mig = Algo.Lutmap.Make (Mig)
-module Lut_xag = Algo.Lutmap.Make (Xag)
-
-module Flow_aig = Engine.Make (Aig)
-module Flow_mig = Engine.Make (Mig)
-module Flow_xag = Engine.Make (Xag)
-
-module To_mig = Convert.Make (Aig) (Mig)
-module To_xag = Convert.Make (Aig) (Xag)
-module Copy_aig = Convert.Make (Aig) (Aig)
-
 let time_it f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-(* Run the given script on all three representations of [baseline].  Pass
-   [envs] to reuse exact-synthesis databases across benchmarks (they are
-   keyed by NPN class, so they warm up once per process); each environment
-   is only ever touched by its own representation's domain.  [parallel]
-   falls back to sequential execution, e.g. for deterministic timing of the
-   individual flows. *)
-let run ?(script = Script.compress2rs) ?(k = 6) ?envs ?(parallel = true)
+(* One portfolio member.  [stage] converts the baseline on the *calling*
+   domain (conversion marks traversal state on the source) and returns a
+   thunk that is safe to run on a spawned domain. *)
+module type JOB = sig
+  val representation : string
+  val default_env : unit -> Engine.env
+
+  val stage :
+    env:Engine.env ->
+    script:string ->
+    k:int ->
+    trace:Obs.Trace.t ->
+    Aig.t ->
+    unit ->
+    entry
+end
+
+module Make_job
+    (N : Intf.NETWORK) (R : sig
+      val representation : string
+      val default_env : unit -> Engine.env
+    end) : JOB = struct
+  module F = Engine.Make (N)
+  module L = Algo.Lutmap.Make (N)
+  module Conv = Convert.Make (Aig) (N)
+
+  let representation = R.representation
+  let default_env = R.default_env
+
+  let stage ~env ~script ~k ~trace baseline =
+    let net = Conv.convert baseline in
+    fun () ->
+      let opt, t_opt = time_it (fun () -> F.run_script env ~trace net script) in
+      let m, t_map = time_it (fun () -> L.map opt ~trace ~k ()) in
+      let s = F.network_stats opt in
+      {
+        representation;
+        nodes = s.Engine.nodes;
+        levels = s.Engine.levels;
+        luts = m.L.lut_count;
+        lut_levels = m.L.depth;
+        time = t_opt +. t_map;
+      }
+end
+
+module Job_aig =
+  Make_job
+    (Aig)
+    (struct
+      let representation = "aig"
+      let default_env = Engine.aig_env
+    end)
+
+module Job_mig =
+  Make_job
+    (Mig)
+    (struct
+      let representation = "mig"
+      let default_env = Engine.mig_env
+    end)
+
+module Job_xag =
+  Make_job
+    (Xag)
+    (struct
+      let representation = "xag"
+      let default_env = Engine.xag_env
+    end)
+
+module Job_xmg =
+  Make_job
+    (Xmg)
+    (struct
+      let representation = "xmg"
+      let default_env = Engine.xmg_env
+    end)
+
+let default_jobs : (module JOB) list =
+  [ (module Job_aig); (module Job_mig); (module Job_xag); (module Job_xmg) ]
+
+(* Run the given script on every representation in [jobs].  Pass [envs]
+   (keyed by representation name) to reuse exact-synthesis databases across
+   benchmarks — they are keyed by NPN class, so they warm up once per
+   process; each environment is only ever touched by its own
+   representation's domain.  [parallel:false] falls back to sequential
+   execution, e.g. for deterministic timing of the individual flows. *)
+let run ?(script = Script.compress2rs) ?(k = 6) ?(envs = [])
+    ?(jobs = default_jobs) ?(parallel = true) ?(trace = Obs.Trace.null)
     (baseline : Aig.t) : result =
-  let env_aig, env_mig, env_xag =
-    match envs with
-    | Some (a, m, x) -> (a, m, x)
-    | None -> (Engine.aig_env (), Engine.mig_env (), Engine.xag_env ())
-  in
-  let net_aig = Copy_aig.convert baseline in
-  let net_mig = To_mig.convert baseline in
-  let net_xag = To_xag.convert baseline in
-  let aig_job () =
-    let opt, t_opt =
-      time_it (fun () -> Flow_aig.run_script env_aig net_aig script)
-    in
-    let m, t_map = time_it (fun () -> Lut_aig.map opt ~k ()) in
-    let s = Flow_aig.network_stats opt in
-    {
-      representation = "aig";
-      nodes = s.Engine.nodes;
-      levels = s.Engine.levels;
-      luts = m.Lut_aig.lut_count;
-      lut_levels = m.Lut_aig.depth;
-      time = t_opt +. t_map;
-    }
-  in
-  let mig_job () =
-    let opt, t_opt =
-      time_it (fun () -> Flow_mig.run_script env_mig net_mig script)
-    in
-    let m, t_map = time_it (fun () -> Lut_mig.map opt ~k ()) in
-    let s = Flow_mig.network_stats opt in
-    {
-      representation = "mig";
-      nodes = s.Engine.nodes;
-      levels = s.Engine.levels;
-      luts = m.Lut_mig.lut_count;
-      lut_levels = m.Lut_mig.depth;
-      time = t_opt +. t_map;
-    }
-  in
-  let xag_job () =
-    let opt, t_opt =
-      time_it (fun () -> Flow_xag.run_script env_xag net_xag script)
-    in
-    let m, t_map = time_it (fun () -> Lut_xag.map opt ~k ()) in
-    let s = Flow_xag.network_stats opt in
-    {
-      representation = "xag";
-      nodes = s.Engine.nodes;
-      levels = s.Engine.levels;
-      luts = m.Lut_xag.lut_count;
-      lut_levels = m.Lut_xag.depth;
-      time = t_opt +. t_map;
-    }
+  let staged =
+    List.map
+      (fun (module J : JOB) ->
+        let env =
+          match List.assoc_opt J.representation envs with
+          | Some e -> e
+          | None -> J.default_env ()
+        in
+        let child = Obs.Trace.child trace ~flow:J.representation in
+        (child, J.stage ~env ~script ~k ~trace:child baseline))
+      jobs
   in
   let entries =
-    if parallel then begin
-      let d_mig = Domain.spawn mig_job in
-      let d_xag = Domain.spawn xag_job in
-      let aig_entry = aig_job () in
-      [ aig_entry; Domain.join d_mig; Domain.join d_xag ]
-    end
-    else [ aig_job (); mig_job (); xag_job () ]
+    match staged with
+    | [] -> invalid_arg "Portfolio.run: empty job list"
+    | (_, first) :: rest ->
+      if parallel then begin
+        (* first job on the calling domain, the rest on spawned domains *)
+        let spawned = List.map (fun (_, job) -> Domain.spawn job) rest in
+        let first_entry = first () in
+        first_entry :: List.map Domain.join spawned
+      end
+      else List.map (fun (_, job) -> job ()) staged
   in
+  Obs.Trace.merge trace (List.map fst staged);
   let best =
     match entries with
     | first :: rest ->

@@ -10,13 +10,16 @@ open Network
 module F = Engine.Make (Aig)
 module Cl = Convert.Cleanup (Aig)
 
-let run_command (env : Engine.env) (net : Aig.t) (cmd : Script.command) : unit =
+let run_command (env : Engine.env) ?trace (net : Aig.t) (cmd : Script.command)
+    : unit =
   match cmd with
   | Script.Rewrite { zero_gain } ->
-    ignore (Algo.Rewrite_aig.run net ~db:env.Engine.db ~allow_zero_gain:zero_gain ())
+    ignore
+      (Algo.Rewrite_aig.run net ~db:env.Engine.db ~allow_zero_gain:zero_gain ())
   | Script.Balance | Script.Refactor _ | Script.Resub _ | Script.Fraig ->
-    F.run_command env net cmd
+    F.run_command env ?trace net cmd
 
-let run_script (env : Engine.env) (net : Aig.t) (script : string) : Aig.t =
-  List.iter (run_command env net) (Script.parse script);
+let run_script (env : Engine.env) ?trace (net : Aig.t) (script : string) :
+    Aig.t =
+  List.iter (run_command env ?trace net) (Script.parse script);
   Cl.cleanup net

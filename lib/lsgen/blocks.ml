@@ -5,7 +5,7 @@
 
    Words are little-endian signal arrays (index 0 = LSB). *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.BUILDER) = struct
   type word = N.signal array
 
   let constant_word t ~width v : word =
@@ -41,12 +41,12 @@ module Make (N : Network.Intf.NETWORK) = struct
 
   (* a - b = a + ~b + 1; the returned carry is 1 when a >= b. *)
   let subtract t (a : word) (b : word) : word * N.signal =
-    ripple_adder t a (Array.map N.create_not b) (N.constant true)
+    ripple_adder t a (Array.map N.complement b) (N.constant true)
 
   (* unsigned comparison: a < b *)
   let less_than t a b =
     let _, geq = subtract t a b in
-    N.create_not geq
+    N.complement geq
 
   (* -- multiplexing and shifting -- *)
 
@@ -177,7 +177,7 @@ module Make (N : Network.Intf.NETWORK) = struct
     Array.init (1 lsl k) (fun v ->
         N.create_nary_and t
           (List.init k (fun i ->
-               if (v lsr i) land 1 = 1 then sel.(i) else N.create_not sel.(i))))
+               if (v lsr i) land 1 = 1 then sel.(i) else N.complement sel.(i))))
 
   (* Population count: widen each bit to a word and sum pairwise (a balanced
      adder tree). *)

@@ -6,7 +6,14 @@
    reconvergent structure typical of control logic rather than a shallow
    random mess. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+(* Generators only construct; the lone structural query is [num_gates],
+   which the random generator uses to detect simplified-away gates. *)
+module Make (N : sig
+  include Network.Intf.BUILDER
+
+  val num_gates : t -> int
+end) =
+struct
   module B = Blocks.Make (N)
 
   (* Rotating-priority (round-robin) arbiter: grant the first request at or
@@ -29,7 +36,7 @@ module Make (N : Network.Intf.NETWORK) = struct
         let g = N.create_and t arrives req.(i) in
         grant.(i) <- N.create_or t grant.(i) g;
         (* token continues if it arrived but was not consumed *)
-        token := N.create_and t arrives (N.create_not req.(i))
+        token := N.create_and t arrives (N.complement req.(i))
       done
     done;
     (* make grants one-hot: mask later grants once one fired *)
@@ -37,7 +44,7 @@ module Make (N : Network.Intf.NETWORK) = struct
     let one_hot =
       Array.map
         (fun g ->
-          let g' = N.create_and t g (N.create_not !any) in
+          let g' = N.create_and t g (N.complement !any) in
           any := N.create_or t !any g;
           g')
         grant

@@ -10,7 +10,12 @@
    work for every representation; Table 2 uses the AIG instantiation as
    the baseline, exactly like the paper. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : sig
+  include Network.Intf.BUILDER
+
+  val num_gates : t -> int
+end) =
+struct
   module B = Blocks.Make (N)
   module C = Control.Make (N)
 

@@ -2,7 +2,7 @@
    no complemented edges, so complements are materialized as NOT lines
    (deduplicated per node). *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.STRUCTURE) = struct
   let write (t : N.t) (oc : out_channel) =
     let name n = Printf.sprintf "n%d" n in
     let inverters = Hashtbl.create 16 in

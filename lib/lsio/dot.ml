@@ -1,7 +1,7 @@
 (* Graphviz DOT writer, generic over the representation — handy for
    inspecting small networks in the examples and during debugging. *)
 
-module Make (N : Network.Intf.NETWORK) = struct
+module Make (N : Network.Intf.STRUCTURE) = struct
   let write (t : N.t) (oc : out_channel) =
     Printf.fprintf oc "digraph %s {\n  rankdir=BT;\n" N.name;
     N.foreach_pi t (fun n ->

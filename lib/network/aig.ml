@@ -17,7 +17,6 @@ include Core_network.Make (struct
       invalid_arg "Aig.normalize: only 2-input AND gates"
 end)
 
-let create_not = Signal.complement
 let create_and t a b = create_node t Kind.And [| a; b |]
 
 let create_or t a b =

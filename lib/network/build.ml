@@ -4,7 +4,7 @@
    produces a function can target every representation through the generic
    constructors. *)
 
-module Make (N : Intf.NETWORK) = struct
+module Make (N : Intf.BUILDER) = struct
   (* Build a factored expression over the given input signals. *)
   let rec of_expr t (inputs : N.signal array) (e : Kitty.Factor.expr) : N.signal =
     match e with

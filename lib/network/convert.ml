@@ -6,7 +6,9 @@
    fly.  [Cleanup] (same-type conversion) also sweeps dangling nodes and
    re-strashes. *)
 
-module Make (Src : Intf.NETWORK) (Dst : Intf.NETWORK) = struct
+(* The source is only traversed, the destination only built: conversion
+   needs no refcounting or substitution on either side. *)
+module Make (Src : Intf.TRAVERSABLE) (Dst : Intf.BUILDER) = struct
   module B = Build.Make (Dst)
 
   (* Topological order over live source nodes (substitutions may have broken
@@ -51,7 +53,16 @@ module Make (Src : Intf.NETWORK) (Dst : Intf.NETWORK) = struct
 end
 
 (* Same-type copy that drops dangling and dead nodes. *)
-module Cleanup (N : Intf.NETWORK) = struct
+module Cleanup (N : sig
+  include Intf.TRAVERSABLE
+
+  include
+    Intf.CONSTRUCT
+      with type t := t
+       and type node := int
+       and type signal := Signal.t
+end) =
+struct
   module C = Make (N) (N)
 
   let cleanup = C.convert

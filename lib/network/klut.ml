@@ -63,7 +63,6 @@ include Core_network.Make (struct
     | Kind.Const | Kind.Pi -> invalid_arg "Klut.normalize: not a gate kind"
 end)
 
-let create_not = Signal.complement
 
 (* Create a LUT node computing [tt] over the given fanin signals. *)
 let create_lut t fanins tt = create_node t (Kind.Lut tt) fanins

@@ -37,7 +37,6 @@ include Core_network.Make (struct
       invalid_arg "Mig.normalize: only 3-input MAJ gates"
 end)
 
-let create_not = Signal.complement
 let create_maj t a b c = create_node t Kind.Maj [| a; b; c |]
 let create_and t a b = create_maj t (Signal.constant false) a b
 let create_or t a b = create_maj t (Signal.constant true) a b

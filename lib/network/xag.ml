@@ -28,7 +28,6 @@ include Core_network.Make (struct
       invalid_arg "Xag.normalize: only 2-input AND/XOR gates"
 end)
 
-let create_not = Signal.complement
 let create_and t a b = create_node t Kind.And [| a; b |]
 let create_xor t a b = create_node t Kind.Xor [| a; b |]
 

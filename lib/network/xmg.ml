@@ -23,7 +23,6 @@ include Core_network.Make (struct
       invalid_arg "Xmg.normalize: only MAJ3/XOR2 gates"
 end)
 
-let create_not = Signal.complement
 let create_maj t a b c = create_node t Kind.Maj [| a; b; c |]
 let create_xor t a b = create_node t Kind.Xor [| a; b |]
 let create_and t a b = create_maj t (Signal.constant false) a b

@@ -1,0 +1,232 @@
+(* Pass-level observability (the telemetry substrate of the flow layers).
+
+   A [Trace.t] is a sink for structured events describing what an
+   optimization flow did: one [Pass_begin]/[Pass_end] span per script
+   command (wall time plus gate/depth before and after) and one [Counters]
+   event per algorithm invocation (candidates tried / accepted /
+   rejected-by-gain, SAT verdicts, LUT-map results, ...).  mockturtle
+   attaches a stats object to every algorithm for the same reason: without
+   per-pass numbers a flow is a black box and regressions can only be
+   localized at whole-flow granularity.
+
+   The sink is either [Null] — every emit is a single pattern match, so
+   disabled tracing costs nothing measurable — or an in-memory buffer that
+   renders to JSONL (one event object per line).  Buffers are
+   single-writer: parallel flows (e.g. the portfolio's domains) each write
+   a [child] sink and the parent [merge]s them in join order, so tracing
+   never needs a lock.  Timestamps are seconds relative to the root sink's
+   creation; children share the parent's epoch so merged events remain
+   comparable. *)
+
+type counters = (string * int) list
+
+type event =
+  | Pass_begin of {
+      t : float;
+      flow : string;
+      pass : string;
+      index : int;
+      gates : int;
+      depth : int;
+    }
+  | Pass_end of {
+      t : float;
+      flow : string;
+      pass : string;
+      index : int;
+      gates : int;
+      depth : int;
+      elapsed : float;
+    }
+  | Counters of { t : float; flow : string; algo : string; counters : counters }
+
+type sink = {
+  flow : string;  (* label stamped on every event; "" at the root *)
+  epoch : float;
+  mutable rev_events : event list;  (* newest first *)
+}
+
+type t = Null | Sink of sink
+
+let null = Null
+let enabled = function Null -> false | Sink _ -> true
+
+let create ?(flow = "") () =
+  Sink { flow; epoch = Unix.gettimeofday (); rev_events = [] }
+
+(* A child sink for a sub-flow (one portfolio member, one benchmark):
+   same epoch, extended label, its own buffer.  Null propagates, so a
+   disabled parent makes every descendant free as well. *)
+let child t ~flow =
+  match t with
+  | Null -> Null
+  | Sink s ->
+    let label = if s.flow = "" then flow else s.flow ^ "/" ^ flow in
+    Sink { flow = label; epoch = s.epoch; rev_events = [] }
+
+(* Append the children's events (in list order) after the parent's. *)
+let merge t children =
+  match t with
+  | Null -> ()
+  | Sink p ->
+    List.iter
+      (function Null -> () | Sink c -> p.rev_events <- c.rev_events @ p.rev_events)
+      children
+
+let events = function Null -> [] | Sink s -> List.rev s.rev_events
+
+let now s = Unix.gettimeofday () -. s.epoch
+
+let pass_begin t ~pass ~index ~gates ~depth =
+  match t with
+  | Null -> ()
+  | Sink s ->
+    s.rev_events <-
+      Pass_begin { t = now s; flow = s.flow; pass; index; gates; depth }
+      :: s.rev_events
+
+let pass_end t ~pass ~index ~gates ~depth ~elapsed =
+  match t with
+  | Null -> ()
+  | Sink s ->
+    s.rev_events <-
+      Pass_end { t = now s; flow = s.flow; pass; index; gates; depth; elapsed }
+      :: s.rev_events
+
+(* Per-algorithm counters, emitted between the enclosing span's begin and
+   end events.  Call sites guard with [enabled] when building the counter
+   list itself has a cost. *)
+let report t ~algo counters =
+  match t with
+  | Null -> ()
+  | Sink s ->
+    s.rev_events <-
+      Counters { t = now s; flow = s.flow; algo; counters } :: s.rev_events
+
+(* -- JSONL rendering -- *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_counters cs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v) cs)
+  ^ "}"
+
+let json_of_event = function
+  | Pass_begin { t; flow; pass; index; gates; depth } ->
+    Printf.sprintf
+      "{\"event\":\"pass_begin\",\"t\":%.6f,\"flow\":\"%s\",\"pass\":\"%s\",\"index\":%d,\"gates\":%d,\"depth\":%d}"
+      t (escape flow) (escape pass) index gates depth
+  | Pass_end { t; flow; pass; index; gates; depth; elapsed } ->
+    Printf.sprintf
+      "{\"event\":\"pass_end\",\"t\":%.6f,\"flow\":\"%s\",\"pass\":\"%s\",\"index\":%d,\"gates\":%d,\"depth\":%d,\"elapsed\":%.6f}"
+      t (escape flow) (escape pass) index gates depth elapsed
+  | Counters { t; flow; algo; counters } ->
+    Printf.sprintf
+      "{\"event\":\"counters\",\"t\":%.6f,\"flow\":\"%s\",\"algo\":\"%s\",\"counters\":%s}"
+      t (escape flow) (escape algo) (json_of_counters counters)
+
+let write_channel t oc =
+  List.iter
+    (fun e ->
+      output_string oc (json_of_event e);
+      output_char oc '\n')
+    (events t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel t oc)
+
+(* -- per-pass summary -- *)
+
+type pass_row = {
+  row_flow : string;
+  row_pass : string;
+  row_index : int;
+  gates_before : int;
+  gates_after : int;
+  depth_before : int;
+  depth_after : int;
+  row_elapsed : float;
+  row_counters : (string * counters) list;  (* algo -> counters, in order *)
+}
+
+(* Pair begin/end events into rows.  Spans never nest within one flow, so a
+   single pending slot per flow label suffices; counter events attach to
+   the open span of their flow. *)
+let summarize t : pass_row list =
+  let pending : (string, pass_row) Hashtbl.t = Hashtbl.create 4 in
+  let rows = ref [] in
+  List.iter
+    (function
+      | Pass_begin { flow; pass; index; gates; depth; _ } ->
+        Hashtbl.replace pending flow
+          {
+            row_flow = flow;
+            row_pass = pass;
+            row_index = index;
+            gates_before = gates;
+            gates_after = gates;
+            depth_before = depth;
+            depth_after = depth;
+            row_elapsed = 0.0;
+            row_counters = [];
+          }
+      | Counters { flow; algo; counters; _ } -> (
+        match Hashtbl.find_opt pending flow with
+        | Some row ->
+          Hashtbl.replace pending flow
+            { row with row_counters = row.row_counters @ [ (algo, counters) ] }
+        | None -> ())
+      | Pass_end { flow; gates; depth; elapsed; _ } -> (
+        match Hashtbl.find_opt pending flow with
+        | Some row ->
+          Hashtbl.remove pending flow;
+          rows :=
+            {
+              row with
+              gates_after = gates;
+              depth_after = depth;
+              row_elapsed = elapsed;
+            }
+            :: !rows
+        | None -> ()))
+    (events t);
+  List.rev !rows
+
+let pp_counters fmt cs =
+  Format.fprintf fmt "%s"
+    (String.concat " "
+       (List.map
+          (fun (algo, counters) ->
+            algo ^ "("
+            ^ String.concat ","
+                (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters)
+            ^ ")")
+          cs))
+
+let pp_summary fmt t =
+  let rows = summarize t in
+  Format.fprintf fmt "%4s  %-16s %-10s | %7s %7s %5s | %5s %5s | %8s  %s@."
+    "#" "flow" "pass" "gates" "->" "dG" "depth" "->" "time" "counters";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%4d  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs  %a@."
+        r.row_index r.row_flow r.row_pass r.gates_before r.gates_after
+        (r.gates_after - r.gates_before)
+        r.depth_before r.depth_after r.row_elapsed pp_counters r.row_counters)
+    rows

@@ -9,6 +9,8 @@ let () =
       ("lsgen", Test_lsgen.suite);
       ("lsio", Test_lsio.suite);
       ("flow", Test_flow.suite);
+      ("obs", Test_obs.suite);
+      ("capabilities", Test_capabilities.suite);
       ("extensions", Test_extensions.suite);
       ("props", Test_props.suite);
     ]

@@ -76,7 +76,12 @@ let test_specialized_matches_generic () =
 let test_portfolio () =
   let baseline = S.build "ctrl" in
   let r = Flow.Portfolio.run ~script:Flow.Script.compress_lite baseline in
-  Alcotest.(check int) "three entries" 3 (List.length r.Flow.Portfolio.entries);
+  Alcotest.(check int) "four entries" 4 (List.length r.Flow.Portfolio.entries);
+  Alcotest.(check (list string))
+    "default roster" [ "aig"; "mig"; "xag"; "xmg" ]
+    (List.map
+       (fun (e : Flow.Portfolio.entry) -> e.representation)
+       r.Flow.Portfolio.entries);
   List.iter
     (fun (e : Flow.Portfolio.entry) ->
       Alcotest.(check bool) (e.representation ^ " has luts") true (e.luts > 0))

@@ -17,7 +17,7 @@ let test_aig_simplifications () =
   let t = Aig.create () in
   let a = Aig.create_pi t and b = Aig.create_pi t in
   Alcotest.(check int) "a & a = a" a (Aig.create_and t a a);
-  Alcotest.(check int) "a & !a = 0" (Aig.constant false) (Aig.create_and t a (Aig.create_not a));
+  Alcotest.(check int) "a & !a = 0" (Aig.constant false) (Aig.create_and t a (Aig.complement a));
   Alcotest.(check int) "a & 1 = a" a (Aig.create_and t a (Aig.constant true));
   Alcotest.(check int) "a & 0 = 0" (Aig.constant false) (Aig.create_and t a (Aig.constant false));
   let f1 = Aig.create_and t a b in
@@ -40,12 +40,12 @@ let test_xag_xor_normalization () =
   let t = Xag.create () in
   let a = Xag.create_pi t and b = Xag.create_pi t in
   let f = Xag.create_xor t a b in
-  let g = Xag.create_xor t (Xag.create_not a) b in
+  let g = Xag.create_xor t (Xag.complement a) b in
   Alcotest.(check int) "xor(!a,b) = !xor(a,b)" (Xag.complement f) g;
   Alcotest.(check int) "one gate" 1 (Xag.num_gates t);
   Alcotest.(check int) "xor(a,a) = 0" (Xag.constant false) (Xag.create_xor t a a);
   Alcotest.(check int) "xor(a,!a) = 1" (Xag.constant true)
-    (Xag.create_xor t a (Xag.create_not a));
+    (Xag.create_xor t a (Xag.complement a));
   Alcotest.(check int) "xor(a,0) = a" a (Xag.create_xor t a (Xag.constant false));
   Alcotest.(check int) "xor(a,1) = !a" (Xag.complement a)
     (Xag.create_xor t a (Xag.constant true))

@@ -1,0 +1,228 @@
+(* Tests for the observability subsystem: trace span structure (golden
+   event sequence for compress_lite), JSONL rendering, timestamp
+   monotonicity, the telescoping invariant (per-pass deltas sum to the
+   whole-flow delta), and per-domain portfolio traces. *)
+
+open Network
+module T = Obs.Trace
+module F = Flow.Engine.Make (Aig)
+module S = Lsgen.Suite.Make (Aig)
+module Copy = Convert.Make (Aig) (Aig)
+
+(* Run compress_lite on [ctrl] under a fresh trace.  Returns the gate
+   count the flow started from (the copied network's — the copy sweeps
+   dangling nodes, so it can be smaller than the raw generator output). *)
+let traced_run () =
+  let baseline = S.build "ctrl" in
+  let work = Copy.convert baseline in
+  let initial_gates = Aig.num_gates work in
+  let env = Flow.Engine.aig_env () in
+  let trace = T.create ~flow:"aig" () in
+  let optimized = F.run_script env ~trace work Flow.Script.compress_lite in
+  (initial_gates, optimized, trace)
+
+let span_events trace =
+  List.filter_map
+    (function
+      | T.Pass_begin { pass; index; _ } -> Some ("pass_begin", pass, index)
+      | T.Pass_end { pass; index; _ } -> Some ("pass_end", pass, index)
+      | T.Counters _ -> None)
+    (T.events trace)
+
+let test_null_sink () =
+  Alcotest.(check bool) "null disabled" false (T.enabled T.null);
+  T.pass_begin T.null ~pass:"bz" ~index:0 ~gates:1 ~depth:1;
+  T.report T.null ~algo:"balance" [ ("tried", 1) ];
+  Alcotest.(check int) "null buffers nothing" 0 (List.length (T.events T.null))
+
+(* Golden span sequence: one begin/end pair per script command, in command
+   order, plus the final cleanup span. *)
+let test_span_sequence () =
+  let _, _, trace = traced_run () in
+  let commands = Flow.Script.parse Flow.Script.compress_lite in
+  let n = List.length commands in
+  let expected =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           let p = Flow.Script.to_string c in
+           [ ("pass_begin", p, i); ("pass_end", p, i) ])
+         commands)
+    @ [ ("pass_begin", "cleanup", n); ("pass_end", "cleanup", n) ]
+  in
+  Alcotest.(check (list (triple string string int)))
+    "span sequence" expected (span_events trace)
+
+let timestamp = function
+  | T.Pass_begin { t; _ } | T.Pass_end { t; _ } | T.Counters { t; _ } -> t
+
+let test_monotonic_timestamps () =
+  let _, _, trace = traced_run () in
+  let ts = List.map timestamp (T.events trace) in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-negative" true (List.for_all (fun t -> t >= 0.0) ts);
+  Alcotest.(check bool) "non-decreasing" true (mono ts)
+
+(* The final pass_end must report the stats of the network the flow
+   actually returned (the cleaned copy). *)
+let test_final_stats_match () =
+  let _, optimized, trace = traced_run () in
+  let s = F.network_stats optimized in
+  let last_end =
+    List.fold_left
+      (fun acc e -> match e with T.Pass_end _ -> Some e | _ -> acc)
+      None (T.events trace)
+  in
+  match last_end with
+  | Some (T.Pass_end { gates; depth; _ }) ->
+    Alcotest.(check int) "final gates" s.Flow.Engine.nodes gates;
+    Alcotest.(check int) "final depth" s.Flow.Engine.levels depth
+  | _ -> Alcotest.fail "no pass_end event"
+
+(* Spans are contiguous, so per-pass deltas telescope: the sum of
+   (after - before) over all passes equals the whole-flow delta. *)
+let test_deltas_telescope () =
+  let initial_gates, optimized, trace = traced_run () in
+  let rows = T.summarize trace in
+  Alcotest.(check bool) "has rows" true (rows <> []);
+  let rec contiguous = function
+    | (a : T.pass_row) :: (b :: _ as rest) ->
+      a.T.gates_after = b.T.gates_before
+      && a.T.depth_after = b.T.depth_before
+      && contiguous rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "contiguous spans" true (contiguous rows);
+  let first = List.hd rows in
+  let last = List.nth rows (List.length rows - 1) in
+  Alcotest.(check int) "starts at initial gates" initial_gates
+    first.T.gates_before;
+  Alcotest.(check int) "ends at final gates" (Aig.num_gates optimized)
+    last.T.gates_after;
+  let gate_delta =
+    List.fold_left
+      (fun acc (r : T.pass_row) -> acc + (r.T.gates_after - r.T.gates_before))
+      0 rows
+  in
+  let depth_delta =
+    List.fold_left
+      (fun acc (r : T.pass_row) -> acc + (r.T.depth_after - r.T.depth_before))
+      0 rows
+  in
+  Alcotest.(check int) "gate deltas telescope"
+    (last.T.gates_after - first.T.gates_before)
+    gate_delta;
+  Alcotest.(check int) "depth deltas telescope"
+    (last.T.depth_after - first.T.depth_before)
+    depth_delta
+
+(* Every line of the JSONL rendering is one non-empty object with an
+   "event" discriminator; line count equals event count. *)
+let test_jsonl_rendering () =
+  let _, _, trace = traced_run () in
+  let path = Filename.temp_file "genlog_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      T.write_file trace path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per event"
+        (List.length (T.events trace))
+        (List.length lines);
+      List.iter
+        (fun line ->
+          let n = String.length line in
+          Alcotest.(check bool) "object braces" true
+            (n > 2 && line.[0] = '{' && line.[n - 1] = '}');
+          let has_event =
+            let needle = "\"event\":" in
+            let m = String.length needle in
+            let rec scan i =
+              i + m <= n && (String.sub line i m = needle || scan (i + 1))
+            in
+            scan 0
+          in
+          Alcotest.(check bool) "has event field" true has_event)
+        lines)
+
+(* Counters events are emitted inside their enclosing span and attached by
+   [summarize]; every optimization pass reports at least one counter. *)
+let test_counters_attached () =
+  let _, _, trace = traced_run () in
+  let rows = T.summarize trace in
+  List.iter
+    (fun (r : T.pass_row) ->
+      if r.T.row_pass <> "cleanup" then
+        Alcotest.(check bool)
+          (r.T.row_pass ^ " has counters")
+          true
+          (r.T.row_counters <> []))
+    rows
+
+(* The portfolio merges one child sink per representation; events from
+   different domains stay per-flow contiguous and per-flow monotonic. *)
+let test_portfolio_trace () =
+  let baseline = S.build "ctrl" in
+  let trace = T.create () in
+  let _ =
+    Flow.Portfolio.run ~script:Flow.Script.compress_lite ~trace baseline
+  in
+  let flows =
+    List.sort_uniq compare
+      (List.map
+         (function
+           | T.Pass_begin { flow; _ }
+           | T.Pass_end { flow; _ }
+           | T.Counters { flow; _ } -> flow)
+         (T.events trace))
+  in
+  Alcotest.(check (list string))
+    "one flow label per representation"
+    [ "aig"; "mig"; "xag"; "xmg" ]
+    flows;
+  List.iter
+    (fun flow ->
+      let ts =
+        List.filter_map
+          (fun e ->
+            let f =
+              match e with
+              | T.Pass_begin { flow; _ }
+              | T.Pass_end { flow; _ }
+              | T.Counters { flow; _ } -> flow
+            in
+            if f = flow then Some (timestamp e) else None)
+          (T.events trace)
+      in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (flow ^ " monotonic") true (mono ts))
+    flows
+
+let suite =
+  [
+    Alcotest.test_case "null sink" `Quick test_null_sink;
+    Alcotest.test_case "span sequence (compress_lite golden)" `Slow
+      test_span_sequence;
+    Alcotest.test_case "monotonic timestamps" `Slow test_monotonic_timestamps;
+    Alcotest.test_case "final stats match returned network" `Slow
+      test_final_stats_match;
+    Alcotest.test_case "per-pass deltas telescope" `Slow test_deltas_telescope;
+    Alcotest.test_case "jsonl rendering" `Slow test_jsonl_rendering;
+    Alcotest.test_case "counters attached to spans" `Slow
+      test_counters_attached;
+    Alcotest.test_case "portfolio per-domain traces" `Slow
+      test_portfolio_trace;
+  ]
