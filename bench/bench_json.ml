@@ -25,8 +25,13 @@ let escape s =
 let write name (rows : (string * value) list list) =
   let file = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out file in
-  Printf.fprintf oc "{\n  \"bench\": \"%s\",\n  \"generated_unix\": %.0f,\n  \"rows\": [\n"
-    (escape name) (Unix.time ());
+  (* run metadata first: commit, compiler, domain count, schema — the
+     fields [report --check] needs to compare two BENCH files honestly *)
+  Printf.fprintf oc
+    "{\n  \"bench\": \"%s\",\n  %s,\n  \"generated_unix\": %.0f,\n  \"rows\": [\n"
+    (escape name)
+    (Genlog.Runmeta.json_fields ())
+    (Unix.time ());
   List.iteri
     (fun i row ->
       if i > 0 then output_string oc ",\n";

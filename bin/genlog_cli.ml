@@ -77,19 +77,29 @@ let stats_flag =
         ~doc:"Print a per-pass summary table (gates/depth deltas, wall time, \
               per-algorithm counters) to stderr.")
 
+let sample_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sample" ] ~docv:"N"
+        ~doc:"Record 1-in-$(docv) node-level events (candidate, gain, \
+              accepted) in the trace; 0 disables node sampling. Implies \
+              nothing by itself — combine with $(b,--trace) or $(b,--stats).")
+
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
   in
-  let run file rep script output trace_file stats =
+  let run file rep script output trace_file stats sample =
     let t = read_aig file in
     Printf.eprintf "baseline: %s\n%!" (stats_of_aig t);
     let rep_name =
       match rep with `Aig -> "aig" | `Mig -> "mig" | `Xag -> "xag" | `Xmg -> "xmg"
     in
     let trace =
-      if trace_file <> None || stats then Genlog.Trace.create ~flow:rep_name ()
+      if trace_file <> None || stats then
+        Genlog.Trace.create ~flow:rep_name ~sample ()
       else Genlog.Trace.null
     in
     let optimized_aig =
@@ -139,7 +149,7 @@ let opt_cmd =
   Cmd.v
     (Cmd.info "opt" ~doc:"Optimize with the generic resynthesis flow")
     Term.(const run $ file $ representation $ script_arg $ output $ trace_arg
-          $ stats_flag)
+          $ stats_flag $ sample_arg)
 
 (* -- map -- *)
 
@@ -226,6 +236,123 @@ let exact_cmd =
        ~doc:"SAT-exact synthesis of a function given as a hex truth table")
     Term.(const run $ hex $ rep)
 
+(* -- report -- *)
+
+let report_cmd =
+  let trace_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"TRACE.jsonl"
+          ~doc:"Pass-level JSONL trace to report on (written by \
+                $(b,opt --trace) or $(b,bench)).")
+  in
+  let bench_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "bench" ] ~docv:"BENCH.json"
+          ~doc:"Benchmark result file to report on / gate against.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"OUT.json"
+          ~doc:"Export the trace as Chrome trace-event JSON (load in \
+                chrome://tracing or Perfetto). Requires $(b,--trace).")
+  in
+  let check_against =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"BASELINE.json"
+          ~doc:"QoR gate: compare $(b,--bench) against $(docv) and exit \
+                nonzero when nodes/levels/luts/lut_levels or wall time \
+                regress beyond thresholds. Requires $(b,--bench).")
+  in
+  let max_qor_pct =
+    Arg.(
+      value
+      & opt float Genlog.Report.default_thresholds.Genlog.Report.qor_pct
+      & info [ "max-qor-pct" ] ~docv:"PCT"
+          ~doc:"Maximum allowed QoR (gates/depth/LUTs) regression, percent.")
+  in
+  let max_time_pct =
+    Arg.(
+      value
+      & opt float Genlog.Report.default_thresholds.Genlog.Report.time_pct
+      & info [ "max-time-pct" ] ~docv:"PCT"
+          ~doc:"Maximum allowed wall-time regression, percent.")
+  in
+  let ignore_time =
+    Arg.(
+      value
+      & flag
+      & info [ "ignore-time" ]
+          ~doc:"Gate only on QoR fields; skip the (noisy) time fields. \
+                Recommended on shared CI runners.")
+  in
+  let run trace_in bench_in chrome_out check_against max_qor_pct max_time_pct
+      ignore_time =
+    if trace_in = None && bench_in = None then begin
+      Printf.eprintf "report: nothing to do; pass --trace and/or --bench\n";
+      exit 2
+    end;
+    (match chrome_out with
+    | Some _ when trace_in = None ->
+      Printf.eprintf "report: --chrome requires --trace\n";
+      exit 2
+    | _ -> ());
+    (match check_against with
+    | Some _ when bench_in = None ->
+      Printf.eprintf "report: --check requires --bench (the current run)\n";
+      exit 2
+    | _ -> ());
+    (match trace_in with
+    | None -> ()
+    | Some path ->
+      let trace = Genlog.Report.load_trace path in
+      Format.printf "%a" Genlog.Report.pp_trace trace;
+      (match chrome_out with
+      | None -> ()
+      | Some out ->
+        Genlog.Chrome.write_file trace out;
+        Printf.printf "[report] wrote chrome trace %s\n" out));
+    match bench_in with
+    | None -> ()
+    | Some path ->
+      let current = Genlog.Json.parse_file path in
+      Format.printf "%a" Genlog.Report.pp_bench current;
+      (match check_against with
+      | None -> ()
+      | Some base_path ->
+        let baseline = Genlog.Json.parse_file base_path in
+        let thresholds =
+          {
+            Genlog.Report.qor_pct = max_qor_pct;
+            time_pct = max_time_pct;
+            time_floor = Genlog.Report.default_thresholds.Genlog.Report.time_floor;
+            check_time = not ignore_time;
+          }
+        in
+        match Genlog.Report.check ~baseline ~current thresholds with
+        | [] ->
+          Printf.printf "[report] QoR gate passed: %s vs baseline %s\n" path
+            base_path
+        | problems ->
+          Printf.eprintf "[report] QoR gate FAILED (%d regressions):\n"
+            (List.length problems);
+          List.iter (fun p -> Printf.eprintf "  %s\n" p) problems;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Join trace/bench artifacts into tables; gate QoR against a \
+             baseline; export Chrome traces")
+    Term.(const run $ trace_in $ bench_in $ chrome_out $ check_against
+          $ max_qor_pct $ max_time_pct $ ignore_time)
+
 (* -- fraig -- *)
 
 let fraig_cmd =
@@ -254,4 +381,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; stats_cmd; opt_cmd; map_cmd; cec_cmd; exact_cmd; fraig_cmd ]))
+          [
+            gen_cmd;
+            stats_cmd;
+            opt_cmd;
+            map_cmd;
+            cec_cmd;
+            exact_cmd;
+            fraig_cmd;
+            report_cmd;
+          ]))

@@ -82,6 +82,9 @@ module Make (N : Network.Intf.NETWORK) = struct
   (* One balancing pass.  Returns the number of substitutions applied. *)
   let run ?(trace = Obs.Trace.null) (net : N.t) : int =
     let tried = ref 0 in
+    let sampling = Obs.Trace.sampling trace in
+    let metrics = Obs.Metrics.of_trace trace ~algo:"balance" in
+    let h_group = Obs.Metrics.histogram metrics "group_size" in
     let levels, _ = Dp.compute net in
     let overlay = Hashtbl.create 64 in
     let rec level_of n =
@@ -101,6 +104,9 @@ module Make (N : Network.Intf.NETWORK) = struct
     let apply n leaves combine =
       if List.length leaves >= 3 then begin
         incr tried;
+        if Obs.Metrics.enabled metrics then
+          Obs.Metrics.observe h_group (List.length leaves);
+        let gates_before = N.num_gates net in
         let s = rebuild net ~level_of combine leaves in
         let leaf_nodes = Array.of_list (List.map N.node_of_signal leaves) in
         if
@@ -110,9 +116,18 @@ module Make (N : Network.Intf.NETWORK) = struct
           (* the rebuilt tree computes the same function with the same or a
              smaller gate count; [s] carries any output complement *)
           N.substitute_node net n s;
-          incr substitutions
+          incr substitutions;
+          if sampling then
+            Obs.Trace.node_event trace ~algo:"balance" ~node:n
+              ~gain:(gates_before - N.num_gates net)
+              ~accepted:true
         end
-        else N.take_out_if_dead net (N.node_of_signal s)
+        else begin
+          N.take_out_if_dead net (N.node_of_signal s);
+          if sampling then
+            Obs.Trace.node_event trace ~algo:"balance" ~node:n ~gain:0
+              ~accepted:false
+        end
       end
     in
     (* outputs-first so that maximal groups are balanced before their
@@ -148,5 +163,6 @@ module Make (N : Network.Intf.NETWORK) = struct
         ("accepted", !substitutions);
         ("rejected", !tried - !substitutions);
       ];
+    Obs.Metrics.emit metrics trace;
     !substitutions
 end

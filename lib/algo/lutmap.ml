@@ -22,8 +22,14 @@ module Make (N : Network.Intf.COUNTED) = struct
      - area mode: minimize (area flow, arrival) subject to required time. *)
   let map (net : N.t) ?(trace = Obs.Trace.null) ?(k = 6) ?(cut_limit = 12)
       ?(area_iterations = 2) () : mapping =
+    let metrics = Obs.Metrics.of_trace trace ~algo:"lutmap" in
+    let h_width = Obs.Metrics.histogram metrics "lut_width" in
+    let cut_metrics = Obs.Metrics.of_trace trace ~algo:"lutmap.cuts" in
     (* wide cuts make small covers: prefer large cuts under the cap *)
-    let cuts = C.enumerate net ~k ~cut_limit ~prefer:`Large () in
+    let cuts =
+      C.enumerate net ~k ~cut_limit ~prefer:`Large ~metrics:cut_metrics ()
+    in
+    Obs.Metrics.emit cut_metrics trace;
     let order = T.order net in
     let size = N.size net in
     let arrival = Array.make size 0.0 in
@@ -141,6 +147,8 @@ module Make (N : Network.Intf.COUNTED) = struct
           match best_cut.(n) with Some c -> c | None -> assert false
         in
         let fanins = Array.map (fun l -> realize l) cut.C.leaves in
+        if Obs.Metrics.enabled metrics then
+          Obs.Metrics.observe h_width (Array.length cut.C.leaves);
         let s = K.create_lut klut fanins cut.C.tt in
         mapped.(n) <- s;
         s
@@ -157,5 +165,6 @@ module Make (N : Network.Intf.COUNTED) = struct
         ("luts", mapping.lut_count);
         ("lut_depth", mapping.depth);
       ];
+    Obs.Metrics.emit metrics trace;
     mapping
 end

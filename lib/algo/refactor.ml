@@ -12,12 +12,14 @@ module Make (N : Network.Intf.NETWORK) = struct
 
   (* Evaluate replacing the MFFC of [n] by a resynthesized structure;
      substitutes when the gain passes the threshold. *)
-  let try_node net n ~max_inputs ~allow_zero_gain ~tried ~rejected =
+  let try_node net n ~max_inputs ~allow_zero_gain ~tried ~rejected ~trace
+      ~sampling ~metrics ~h_inputs ~h_gain =
     let leaves = M.leaves net n in
     let leaves = List.filter (fun l -> not (N.is_constant net l)) leaves in
     let k = List.length leaves in
     if k < 1 || k > max_inputs then false
     else begin
+      if Obs.Metrics.enabled metrics then Obs.Metrics.observe h_inputs k;
       let w = W.of_cut net n leaves in
       let values = W.simulate net w in
       let root_tt = Hashtbl.find values n in
@@ -37,11 +39,18 @@ module Make (N : Network.Intf.NETWORK) = struct
         let gain = freed - added in
         if gain > 0 || (allow_zero_gain && gain = 0) then begin
           N.substitute_node net n s;
+          if Obs.Metrics.enabled metrics then Obs.Metrics.observe h_gain gain;
+          if sampling then
+            Obs.Trace.node_event trace ~algo:"refactor" ~node:n ~gain
+              ~accepted:true;
           true
         end
         else begin
           incr rejected;
           N.take_out_if_dead net root;
+          if sampling then
+            Obs.Trace.node_event trace ~algo:"refactor" ~node:n ~gain
+              ~accepted:false;
           false
         end
       end
@@ -52,6 +61,10 @@ module Make (N : Network.Intf.NETWORK) = struct
       ?(allow_zero_gain = false) () : int =
     let substitutions = ref 0 in
     let tried = ref 0 and rejected = ref 0 in
+    let sampling = Obs.Trace.sampling trace in
+    let metrics = Obs.Metrics.of_trace trace ~algo:"refactor" in
+    let h_inputs = Obs.Metrics.histogram metrics "cone_inputs" in
+    let h_gain = Obs.Metrics.histogram metrics "gain" in
     List.iter
       (fun n ->
         if
@@ -59,6 +72,7 @@ module Make (N : Network.Intf.NETWORK) = struct
           && (not (N.is_dead net n))
           && N.ref_count net n > 0
           && try_node net n ~max_inputs ~allow_zero_gain ~tried ~rejected
+               ~trace ~sampling ~metrics ~h_inputs ~h_gain
         then incr substitutions)
       (T.order net);
     Obs.Trace.report trace ~algo:"refactor"
@@ -67,5 +81,6 @@ module Make (N : Network.Intf.NETWORK) = struct
         ("accepted", !substitutions);
         ("rejected", !rejected);
       ];
+    Obs.Metrics.emit metrics trace;
     !substitutions
 end

@@ -82,7 +82,13 @@ module Make (N : Network.Intf.NETWORK) = struct
   let run (net : N.t) ~(db : Exact.Database.t) ?(trace = Obs.Trace.null)
       ?(cut_size = 4) ?(cut_limit = 8) ?(allow_zero_gain = false) () : int =
     let stats = { candidates = 0; substitutions = 0; gain = 0 } in
-    let cuts = C.enumerate net ~k:cut_size ~cut_limit () in
+    let sampling = Obs.Trace.sampling trace in
+    let metrics = Obs.Metrics.of_trace trace ~algo:"rewrite" in
+    let h_gain = Obs.Metrics.histogram metrics "gain" in
+    let h_mffc = Obs.Metrics.histogram metrics "mffc_size" in
+    let cut_metrics = Obs.Metrics.of_trace trace ~algo:"rewrite.cuts" in
+    let cuts = C.enumerate net ~k:cut_size ~cut_limit ~metrics:cut_metrics () in
+    Obs.Metrics.emit cut_metrics trace;
     let nodes = T.order net in
     List.iter
       (fun n ->
@@ -90,6 +96,8 @@ module Make (N : Network.Intf.NETWORK) = struct
         then begin
           let mffc_size = 1 + N.recursive_deref net n in
           ignore (N.recursive_ref net n);
+          if Obs.Metrics.enabled metrics then
+            Obs.Metrics.observe h_mffc mffc_size;
           (* pick the best (cut, builder) by measured gain *)
           let best = ref None in
           List.iter
@@ -125,11 +133,22 @@ module Make (N : Network.Intf.NETWORK) = struct
               then begin
                 N.substitute_node net n s;
                 stats.substitutions <- stats.substitutions + 1;
-                stats.gain <- stats.gain + gain
+                stats.gain <- stats.gain + gain;
+                if Obs.Metrics.enabled metrics then
+                  Obs.Metrics.observe h_gain gain;
+                if sampling then
+                  Obs.Trace.node_event trace ~algo:"rewrite" ~node:n ~gain
+                    ~accepted:true
               end
-              else N.take_out_if_dead net (N.node_of_signal s))
+              else begin
+                N.take_out_if_dead net (N.node_of_signal s);
+                if sampling then
+                  Obs.Trace.node_event trace ~algo:"rewrite" ~node:n ~gain
+                    ~accepted:false
+              end)
         end)
       nodes;
+    Obs.Metrics.emit metrics trace;
     Obs.Trace.report trace ~algo:"rewrite"
       [
         ("tried", stats.candidates);

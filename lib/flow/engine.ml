@@ -73,8 +73,9 @@ module Make (N : Network.Intf.NETWORK) = struct
 
   (* Interpret one script command as a traced span: a [pass_begin] /
      [pass_end] pair bracketing the command, carrying gate count and depth
-     before and after.  With tracing disabled ([Trace.null]) neither stats
-     nor timestamps are computed. *)
+     before and after plus the GC work ([Gc.quick_stat] deltas) the pass
+     caused.  With tracing disabled ([Trace.null]) neither stats nor
+     timestamps nor GC counters are computed. *)
   let run_command (env : env) ?(trace = Obs.Trace.null) ?(index = 0)
       (net : N.t) (cmd : Script.command) : unit =
     if not (Obs.Trace.enabled trace) then dispatch env ~trace net cmd
@@ -82,11 +83,14 @@ module Make (N : Network.Intf.NETWORK) = struct
       let pass = Script.to_string cmd in
       let { nodes; levels } = network_stats net in
       let t0 = Unix.gettimeofday () in
+      let g0 = Gc.quick_stat () in
       Obs.Trace.pass_begin trace ~pass ~index ~gates:nodes ~depth:levels;
       dispatch env ~trace net cmd;
       let elapsed = Unix.gettimeofday () -. t0 in
+      let gc = Obs.Trace.gc_diff g0 (Gc.quick_stat ()) in
       let { nodes; levels } = network_stats net in
-      Obs.Trace.pass_end trace ~pass ~index ~gates:nodes ~depth:levels ~elapsed
+      Obs.Trace.pass_end trace ~gc ~pass ~index ~gates:nodes ~depth:levels
+        ~elapsed ()
     end
 
   (* Run a script in place; returns a cleaned-up copy (dangling nodes
@@ -101,13 +105,15 @@ module Make (N : Network.Intf.NETWORK) = struct
       let index = List.length commands in
       let { nodes; levels } = network_stats net in
       let t0 = Unix.gettimeofday () in
+      let g0 = Gc.quick_stat () in
       Obs.Trace.pass_begin trace ~pass:"cleanup" ~index ~gates:nodes
         ~depth:levels;
       let cleaned = Cl.cleanup net in
       let elapsed = Unix.gettimeofday () -. t0 in
+      let gc = Obs.Trace.gc_diff g0 (Gc.quick_stat ()) in
       let { nodes; levels } = network_stats cleaned in
-      Obs.Trace.pass_end trace ~pass:"cleanup" ~index ~gates:nodes
-        ~depth:levels ~elapsed;
+      Obs.Trace.pass_end trace ~gc ~pass:"cleanup" ~index ~gates:nodes
+        ~depth:levels ~elapsed ();
       cleaned
     end
 

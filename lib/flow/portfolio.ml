@@ -153,6 +153,16 @@ let run ?(script = Script.compress2rs) ?(k = 6) ?(envs = [])
       else List.map (fun (_, job) -> job ()) staged
   in
   Obs.Trace.merge trace (List.map fst staged);
+  (* one roster-level record so the merged trace is self-describing:
+     how many jobs ran, whether they were domain-parallel, and how many
+     hardware domains the host offers (the chrome export shows one [tid]
+     track per job flow) *)
+  Obs.Trace.report trace ~algo:"portfolio"
+    [
+      ("jobs", List.length staged);
+      ("parallel", if parallel then 1 else 0);
+      ("recommended_domains", Domain.recommended_domain_count ());
+    ];
   let best =
     match entries with
     | first :: rest ->

@@ -2,23 +2,75 @@
 
    A [Trace.t] is a sink for structured events describing what an
    optimization flow did: one [Pass_begin]/[Pass_end] span per script
-   command (wall time plus gate/depth before and after) and one [Counters]
-   event per algorithm invocation (candidates tried / accepted /
-   rejected-by-gain, SAT verdicts, LUT-map results, ...).  mockturtle
-   attaches a stats object to every algorithm for the same reason: without
-   per-pass numbers a flow is a black box and regressions can only be
-   localized at whole-flow granularity.
+   command (wall time plus gate/depth before and after, plus the GC work
+   the pass caused), one [Counters] event per algorithm invocation
+   (candidates tried / accepted / rejected-by-gain, SAT verdicts, LUT-map
+   results, ...), one [Metrics] event per algorithm registry (see
+   metrics.ml: log2-bucketed histograms, gauges), and — when sampling is
+   on — [Node_event]s recording individual candidate decisions.
+   mockturtle attaches a stats object to every algorithm for the same
+   reason: without per-pass numbers a flow is a black box and regressions
+   can only be localized at whole-flow granularity.
 
    The sink is either [Null] — every emit is a single pattern match, so
    disabled tracing costs nothing measurable — or an in-memory buffer that
-   renders to JSONL (one event object per line).  Buffers are
-   single-writer: parallel flows (e.g. the portfolio's domains) each write
-   a [child] sink and the parent [merge]s them in join order, so tracing
-   never needs a lock.  Timestamps are seconds relative to the root sink's
-   creation; children share the parent's epoch so merged events remain
-   comparable. *)
+   renders to JSONL (one event object per line, preceded by one meta line
+   stamping the producing run).  Buffers are single-writer: parallel flows
+   (e.g. the portfolio's domains) each write a [child] sink and the parent
+   [merge]s them in join order, so tracing never needs a lock.  Timestamps
+   are seconds relative to the root sink's creation; children share the
+   parent's epoch so merged events remain comparable.
+
+   Node-level events are sampled: [create ~sample:n] keeps one candidate
+   decision out of every [n] per sink, so the per-node firehose stays
+   bounded when enabled ([sample = 0], the default, disables node events
+   entirely).  Children inherit the parent's sampling rate with their own
+   tick, so per-domain sampling stays deterministic. *)
 
 type counters = (string * int) list
+
+(* GC work attributed to a span: deltas of [Gc.quick_stat] taken at
+   [pass_begin] and [pass_end].  Words are floats because that is how the
+   runtime reports them (they overflow ints on 32-bit platforms). *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let gc_zero =
+  {
+    minor_words = 0.0;
+    major_words = 0.0;
+    promoted_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+(* Counters of [Gc.quick_stat] are monotone within one domain, but clamp
+   anyway: a span must never report negative GC work. *)
+let gc_diff (g0 : Gc.stat) (g1 : Gc.stat) =
+  {
+    minor_words = Float.max 0.0 (g1.Gc.minor_words -. g0.Gc.minor_words);
+    major_words = Float.max 0.0 (g1.Gc.major_words -. g0.Gc.major_words);
+    promoted_words =
+      Float.max 0.0 (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+    minor_collections = max 0 (g1.Gc.minor_collections - g0.Gc.minor_collections);
+    major_collections = max 0 (g1.Gc.major_collections - g0.Gc.major_collections);
+  }
+
+(* Rendered summary of one log2-bucketed histogram (built by metrics.ml).
+   [buckets] holds (bucket index, count) for non-empty buckets only;
+   bucket [i] covers [2^(i-1), 2^i) with bucket 0 reserved for zero. *)
+type hist = {
+  h_count : int;
+  h_sum : float;  (* float: sums of observations near max_int overflow *)
+  h_min : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
 
 type event =
   | Pass_begin of {
@@ -37,12 +89,31 @@ type event =
       gates : int;
       depth : int;
       elapsed : float;
+      gc : gc_delta;
     }
   | Counters of { t : float; flow : string; algo : string; counters : counters }
+  | Metrics of {
+      t : float;
+      flow : string;
+      algo : string;
+      counters : counters;
+      gauges : counters;
+      hists : (string * hist) list;
+    }
+  | Node_event of {
+      t : float;
+      flow : string;
+      algo : string;
+      node : int;
+      gain : int;
+      accepted : bool;
+    }
 
 type sink = {
   flow : string;  (* label stamped on every event; "" at the root *)
   epoch : float;
+  sample_every : int;  (* keep 1 node event in [n]; 0 disables them *)
+  mutable sample_tick : int;
   mutable rev_events : event list;  (* newest first *)
 }
 
@@ -51,18 +122,49 @@ type t = Null | Sink of sink
 let null = Null
 let enabled = function Null -> false | Sink _ -> true
 
-let create ?(flow = "") () =
-  Sink { flow; epoch = Unix.gettimeofday (); rev_events = [] }
+(* Node events cost a little per candidate even when dropped by the
+   sampler; hot loops guard the call itself with [sampling]. *)
+let sampling = function Null -> false | Sink s -> s.sample_every > 0
+
+let create ?(flow = "") ?(sample = 0) () =
+  Sink
+    {
+      flow;
+      epoch = Unix.gettimeofday ();
+      sample_every = max 0 sample;
+      sample_tick = 0;
+      rev_events = [];
+    }
+
+(* A replay sink holding [events] verbatim — used by offline consumers
+   (report, chrome export) to rebuild a trace from a JSONL file. *)
+let of_events events =
+  Sink
+    {
+      flow = "";
+      epoch = 0.0;
+      sample_every = 0;
+      sample_tick = 0;
+      rev_events = List.rev events;
+    }
 
 (* A child sink for a sub-flow (one portfolio member, one benchmark):
-   same epoch, extended label, its own buffer.  Null propagates, so a
-   disabled parent makes every descendant free as well. *)
+   same epoch and sampling rate, extended label, its own buffer.  Null
+   propagates, so a disabled parent makes every descendant free as
+   well. *)
 let child t ~flow =
   match t with
   | Null -> Null
   | Sink s ->
     let label = if s.flow = "" then flow else s.flow ^ "/" ^ flow in
-    Sink { flow = label; epoch = s.epoch; rev_events = [] }
+    Sink
+      {
+        flow = label;
+        epoch = s.epoch;
+        sample_every = s.sample_every;
+        sample_tick = 0;
+        rev_events = [];
+      }
 
 (* Append the children's events (in list order) after the parent's. *)
 let merge t children =
@@ -85,12 +187,12 @@ let pass_begin t ~pass ~index ~gates ~depth =
       Pass_begin { t = now s; flow = s.flow; pass; index; gates; depth }
       :: s.rev_events
 
-let pass_end t ~pass ~index ~gates ~depth ~elapsed =
+let pass_end t ?(gc = gc_zero) ~pass ~index ~gates ~depth ~elapsed () =
   match t with
   | Null -> ()
   | Sink s ->
     s.rev_events <-
-      Pass_end { t = now s; flow = s.flow; pass; index; gates; depth; elapsed }
+      Pass_end { t = now s; flow = s.flow; pass; index; gates; depth; elapsed; gc }
       :: s.rev_events
 
 (* Per-algorithm counters, emitted between the enclosing span's begin and
@@ -102,6 +204,31 @@ let report t ~algo counters =
   | Sink s ->
     s.rev_events <-
       Counters { t = now s; flow = s.flow; algo; counters } :: s.rev_events
+
+(* A rendered metrics registry (metrics.ml builds the payload). *)
+let metrics t ~algo ~counters ~gauges ~hists =
+  match t with
+  | Null -> ()
+  | Sink s ->
+    s.rev_events <-
+      Metrics { t = now s; flow = s.flow; algo; counters; gauges; hists }
+      :: s.rev_events
+
+(* One sampled candidate decision.  The sampler is a deterministic
+   counter, not a RNG: 1-in-n by arrival order, reproducible across
+   runs. *)
+let node_event t ~algo ~node ~gain ~accepted =
+  match t with
+  | Null -> ()
+  | Sink s ->
+    if s.sample_every > 0 then begin
+      let tick = s.sample_tick in
+      s.sample_tick <- tick + 1;
+      if tick mod s.sample_every = 0 then
+        s.rev_events <-
+          Node_event { t = now s; flow = s.flow; algo; node; gain; accepted }
+          :: s.rev_events
+    end
 
 (* -- JSONL rendering -- *)
 
@@ -126,21 +253,55 @@ let json_of_counters cs =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v) cs)
   ^ "}"
 
+let json_of_gc gc =
+  Printf.sprintf
+    "{\"minor_words\":%.0f,\"major_words\":%.0f,\"promoted_words\":%.0f,\"minor_collections\":%d,\"major_collections\":%d}"
+    gc.minor_words gc.major_words gc.promoted_words gc.minor_collections
+    gc.major_collections
+
+let json_of_hist h =
+  Printf.sprintf
+    "{\"count\":%d,\"sum\":%.0f,\"min\":%d,\"max\":%d,\"buckets\":{%s}}"
+    h.h_count h.h_sum
+    (if h.h_count = 0 then 0 else h.h_min)
+    h.h_max
+    (String.concat ","
+       (List.map (fun (b, c) -> Printf.sprintf "\"%d\":%d" b c) h.h_buckets))
+
 let json_of_event = function
   | Pass_begin { t; flow; pass; index; gates; depth } ->
     Printf.sprintf
       "{\"event\":\"pass_begin\",\"t\":%.6f,\"flow\":\"%s\",\"pass\":\"%s\",\"index\":%d,\"gates\":%d,\"depth\":%d}"
       t (escape flow) (escape pass) index gates depth
-  | Pass_end { t; flow; pass; index; gates; depth; elapsed } ->
+  | Pass_end { t; flow; pass; index; gates; depth; elapsed; gc } ->
     Printf.sprintf
-      "{\"event\":\"pass_end\",\"t\":%.6f,\"flow\":\"%s\",\"pass\":\"%s\",\"index\":%d,\"gates\":%d,\"depth\":%d,\"elapsed\":%.6f}"
-      t (escape flow) (escape pass) index gates depth elapsed
+      "{\"event\":\"pass_end\",\"t\":%.6f,\"flow\":\"%s\",\"pass\":\"%s\",\"index\":%d,\"gates\":%d,\"depth\":%d,\"elapsed\":%.6f,\"gc\":%s}"
+      t (escape flow) (escape pass) index gates depth elapsed (json_of_gc gc)
   | Counters { t; flow; algo; counters } ->
     Printf.sprintf
       "{\"event\":\"counters\",\"t\":%.6f,\"flow\":\"%s\",\"algo\":\"%s\",\"counters\":%s}"
       t (escape flow) (escape algo) (json_of_counters counters)
+  | Metrics { t; flow; algo; counters; gauges; hists } ->
+    Printf.sprintf
+      "{\"event\":\"metrics\",\"t\":%.6f,\"flow\":\"%s\",\"algo\":\"%s\",\"counters\":%s,\"gauges\":%s,\"hists\":{%s}}"
+      t (escape flow) (escape algo) (json_of_counters counters)
+      (json_of_counters gauges)
+      (String.concat ","
+         (List.map
+            (fun (k, h) -> Printf.sprintf "\"%s\":%s" (escape k) (json_of_hist h))
+            hists))
+  | Node_event { t; flow; algo; node; gain; accepted } ->
+    Printf.sprintf
+      "{\"event\":\"node\",\"t\":%.6f,\"flow\":\"%s\",\"algo\":\"%s\",\"node\":%d,\"gain\":%d,\"accepted\":%b}"
+      t (escape flow) (escape algo) node gain accepted
+
+let meta_line () =
+  Printf.sprintf "{\"event\":\"meta\",%s,\"generated_unix\":%.0f}"
+    (Runmeta.json_fields ()) (Unix.time ())
 
 let write_channel t oc =
+  output_string oc (meta_line ());
+  output_char oc '\n';
   List.iter
     (fun e ->
       output_string oc (json_of_event e);
@@ -162,6 +323,7 @@ type pass_row = {
   depth_before : int;
   depth_after : int;
   row_elapsed : float;
+  row_gc : gc_delta;
   row_counters : (string * counters) list;  (* algo -> counters, in order *)
 }
 
@@ -184,6 +346,7 @@ let summarize t : pass_row list =
             depth_before = depth;
             depth_after = depth;
             row_elapsed = 0.0;
+            row_gc = gc_zero;
             row_counters = [];
           }
       | Counters { flow; algo; counters; _ } -> (
@@ -192,7 +355,8 @@ let summarize t : pass_row list =
           Hashtbl.replace pending flow
             { row with row_counters = row.row_counters @ [ (algo, counters) ] }
         | None -> ())
-      | Pass_end { flow; gates; depth; elapsed; _ } -> (
+      | Metrics _ | Node_event _ -> ()
+      | Pass_end { flow; gates; depth; elapsed; gc; _ } -> (
         match Hashtbl.find_opt pending flow with
         | Some row ->
           Hashtbl.remove pending flow;
@@ -202,6 +366,7 @@ let summarize t : pass_row list =
               gates_after = gates;
               depth_after = depth;
               row_elapsed = elapsed;
+              row_gc = gc;
             }
             :: !rows
         | None -> ()))
@@ -219,14 +384,34 @@ let pp_counters fmt cs =
             ^ ")")
           cs))
 
+(* The per-pass table: one row per span plus a totals row; the [%] column
+   is each pass's share of the summed wall time, so the table answers
+   "where did the time go" without a calculator. *)
 let pp_summary fmt t =
   let rows = summarize t in
-  Format.fprintf fmt "%4s  %-16s %-10s | %7s %7s %5s | %5s %5s | %8s  %s@."
-    "#" "flow" "pass" "gates" "->" "dG" "depth" "->" "time" "counters";
+  let total_elapsed =
+    List.fold_left (fun acc r -> acc +. r.row_elapsed) 0.0 rows
+  in
+  let pct e =
+    if total_elapsed <= 0.0 then 0.0 else 100.0 *. e /. total_elapsed
+  in
+  Format.fprintf fmt "%4s  %-16s %-10s | %7s %7s %5s | %5s %5s | %8s %5s  %s@."
+    "#" "flow" "pass" "gates" "->" "dG" "depth" "->" "time" "%" "counters";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%4d  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs  %a@."
+      Format.fprintf fmt
+        "%4d  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs %4.1f%%  %a@."
         r.row_index r.row_flow r.row_pass r.gates_before r.gates_after
         (r.gates_after - r.gates_before)
-        r.depth_before r.depth_after r.row_elapsed pp_counters r.row_counters)
-    rows
+        r.depth_before r.depth_after r.row_elapsed (pct r.row_elapsed)
+        pp_counters r.row_counters)
+    rows;
+  match (rows, List.rev rows) with
+  | first :: _, last :: _ ->
+    Format.fprintf fmt
+      "%4s  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs %4.1f%%@."
+      "" "total" "" first.gates_before last.gates_after
+      (List.fold_left (fun a r -> a + (r.gates_after - r.gates_before)) 0 rows)
+      first.depth_before last.depth_after total_elapsed
+      (pct total_elapsed)
+  | _ -> ()

@@ -10,6 +10,7 @@ let () =
       ("lsio", Test_lsio.suite);
       ("flow", Test_flow.suite);
       ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
       ("capabilities", Test_capabilities.suite);
       ("extensions", Test_extensions.suite);
       ("props", Test_props.suite);

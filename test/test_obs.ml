@@ -26,7 +26,7 @@ let span_events trace =
     (function
       | T.Pass_begin { pass; index; _ } -> Some ("pass_begin", pass, index)
       | T.Pass_end { pass; index; _ } -> Some ("pass_end", pass, index)
-      | T.Counters _ -> None)
+      | T.Counters _ | T.Metrics _ | T.Node_event _ -> None)
     (T.events trace)
 
 let test_null_sink () =
@@ -54,7 +54,18 @@ let test_span_sequence () =
     "span sequence" expected (span_events trace)
 
 let timestamp = function
-  | T.Pass_begin { t; _ } | T.Pass_end { t; _ } | T.Counters { t; _ } -> t
+  | T.Pass_begin { t; _ }
+  | T.Pass_end { t; _ }
+  | T.Counters { t; _ }
+  | T.Metrics { t; _ }
+  | T.Node_event { t; _ } -> t
+
+let flow_of = function
+  | T.Pass_begin { flow; _ }
+  | T.Pass_end { flow; _ }
+  | T.Counters { flow; _ }
+  | T.Metrics { flow; _ }
+  | T.Node_event { flow; _ } -> flow
 
 let test_monotonic_timestamps () =
   let _, _, trace = traced_run () in
@@ -120,7 +131,8 @@ let test_deltas_telescope () =
     depth_delta
 
 (* Every line of the JSONL rendering is one non-empty object with an
-   "event" discriminator; line count equals event count. *)
+   "event" discriminator; line count equals event count plus the leading
+   run-metadata line. *)
 let test_jsonl_rendering () =
   let _, _, trace = traced_run () in
   let path = Filename.temp_file "genlog_trace" ".jsonl" in
@@ -136,9 +148,22 @@ let test_jsonl_rendering () =
          done
        with End_of_file -> close_in ic);
       let lines = List.rev !lines in
-      Alcotest.(check int) "one line per event"
-        (List.length (T.events trace))
+      Alcotest.(check int) "one line per event plus meta"
+        (List.length (T.events trace) + 1)
         (List.length lines);
+      let contains hay needle =
+        let n = String.length hay and m = String.length needle in
+        let rec scan i =
+          i + m <= n && (String.sub hay i m = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      let meta = List.hd lines in
+      Alcotest.(check bool) "meta line first" true
+        (contains meta "\"event\":\"meta\"");
+      Alcotest.(check bool) "meta has schema" true (contains meta "\"schema\"");
+      Alcotest.(check bool) "meta has ocaml version" true
+        (contains meta "\"ocaml\"");
       List.iter
         (fun line ->
           let n = String.length line in
@@ -179,11 +204,12 @@ let test_portfolio_trace () =
   in
   let flows =
     List.sort_uniq compare
-      (List.map
-         (function
-           | T.Pass_begin { flow; _ }
-           | T.Pass_end { flow; _ }
-           | T.Counters { flow; _ } -> flow)
+      (List.filter_map
+         (fun e ->
+           (* the parent sink carries one roster-level counters record on
+              the root flow ""; the per-representation labels are the
+              children's *)
+           match flow_of e with "" -> None | f -> Some f)
          (T.events trace))
   in
   Alcotest.(check (list string))
@@ -194,14 +220,7 @@ let test_portfolio_trace () =
     (fun flow ->
       let ts =
         List.filter_map
-          (fun e ->
-            let f =
-              match e with
-              | T.Pass_begin { flow; _ }
-              | T.Pass_end { flow; _ }
-              | T.Counters { flow; _ } -> flow
-            in
-            if f = flow then Some (timestamp e) else None)
+          (fun e -> if flow_of e = flow then Some (timestamp e) else None)
           (T.events trace)
       in
       let rec mono = function
@@ -211,9 +230,120 @@ let test_portfolio_trace () =
       Alcotest.(check bool) (flow ^ " monotonic") true (mono ts))
     flows
 
+(* -- metrics: log2 histogram bucketing edge cases -- *)
+
+module M = Obs.Metrics
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "bucket of 0" 0 (M.bucket_of 0);
+  Alcotest.(check int) "bucket of negatives clamps" 0 (M.bucket_of (-7));
+  Alcotest.(check int) "bucket of 1" 1 (M.bucket_of 1);
+  Alcotest.(check int) "bucket of 2" 2 (M.bucket_of 2);
+  Alcotest.(check int) "bucket of 3" 2 (M.bucket_of 3);
+  Alcotest.(check int) "bucket of 4" 3 (M.bucket_of 4);
+  Alcotest.(check int) "bucket of max_int" 62 (M.bucket_of max_int);
+  Alcotest.(check int) "lo of bucket 0" 0 (M.bucket_lo 0);
+  Alcotest.(check int) "lo of bucket 1" 1 (M.bucket_lo 1);
+  Alcotest.(check int) "lo of bucket 62" (1 lsl 61) (M.bucket_lo 62);
+  (* observing the edge values round-trips through the summary *)
+  let m = M.create ~algo:"t" () in
+  let h = M.histogram m "h" in
+  List.iter (M.observe h) [ 0; 1; max_int ];
+  let s = M.summary h in
+  Alcotest.(check int) "count" 3 s.T.h_count;
+  Alcotest.(check int) "min" 0 s.T.h_min;
+  Alcotest.(check int) "max" max_int s.T.h_max;
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (0, 1); (1, 1); (62, 1) ] s.T.h_buckets
+
+let test_null_metrics () =
+  let m = M.null in
+  Alcotest.(check bool) "null disabled" false (M.enabled m);
+  (* all handles are shared scratch cells: operations must not raise and
+     emit must not add events *)
+  let c = M.counter m "c" and h = M.histogram m "h" in
+  M.incr c;
+  M.observe h 5;
+  let trace = T.create () in
+  M.emit m trace;
+  Alcotest.(check int) "emit on null adds nothing" 0
+    (List.length (T.events trace))
+
+(* -- Gc deltas: clamped non-negative, attached to pass_end -- *)
+
+let test_gc_delta_nonnegative () =
+  let g0 = Gc.quick_stat () in
+  let _ = Array.init 10_000 (fun i -> i) in
+  let g1 = Gc.quick_stat () in
+  let d = T.gc_diff g0 g1 in
+  Alcotest.(check bool) "minor words >= 0" true (d.T.minor_words >= 0.0);
+  Alcotest.(check bool) "major words >= 0" true (d.T.major_words >= 0.0);
+  Alcotest.(check bool) "minor collections >= 0" true
+    (d.T.minor_collections >= 0);
+  (* reversed order must clamp, not go negative *)
+  let r = T.gc_diff g1 g0 in
+  Alcotest.(check bool) "reversed clamps to zero" true
+    (r.T.minor_words >= 0.0 && r.T.major_words >= 0.0
+    && r.T.minor_collections >= 0 && r.T.major_collections >= 0);
+  (* every pass_end of a real run carries a non-negative delta *)
+  let _, _, trace = traced_run () in
+  List.iter
+    (function
+      | T.Pass_end { gc; _ } ->
+        Alcotest.(check bool) "pass gc non-negative" true
+          (gc.T.minor_words >= 0.0 && gc.T.major_words >= 0.0
+          && gc.T.promoted_words >= 0.0 && gc.T.minor_collections >= 0
+          && gc.T.major_collections >= 0)
+      | _ -> ())
+    (T.events trace)
+
+(* -- node-event sampling: deterministic 1-in-n by arrival order -- *)
+
+let test_node_sampling () =
+  let emit_n trace n =
+    for i = 1 to n do
+      T.node_event trace ~algo:"t" ~node:i ~gain:1 ~accepted:true
+    done
+  in
+  let count trace =
+    List.length
+      (List.filter (function T.Node_event _ -> true | _ -> false)
+         (T.events trace))
+  in
+  let t0 = T.create () in
+  Alcotest.(check bool) "sample 0 disables" false (T.sampling t0);
+  emit_n t0 10;
+  Alcotest.(check int) "no node events without sampling" 0 (count t0);
+  let t3 = T.create ~sample:3 () in
+  Alcotest.(check bool) "sample 3 enables" true (T.sampling t3);
+  emit_n t3 10;
+  Alcotest.(check int) "1-in-3 of 10 arrivals" 4 (count t3);
+  (* children inherit the rate with their own tick *)
+  let child = T.child t3 ~flow:"c" in
+  emit_n child 10;
+  Alcotest.(check int) "child samples independently" 4 (count child)
+
+(* -- summary rendering: % column and totals row -- *)
+
+let test_summary_totals () =
+  let _, _, trace = traced_run () in
+  let s = Format.asprintf "%a" T.pp_summary trace in
+  let contains needle =
+    let n = String.length s and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub s i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "has %% column header" true (contains "%");
+  Alcotest.(check bool) "has totals row" true (contains "total")
+
 let suite =
   [
     Alcotest.test_case "null sink" `Quick test_null_sink;
+    Alcotest.test_case "histogram bucket edges" `Quick test_histogram_buckets;
+    Alcotest.test_case "null metrics registry" `Quick test_null_metrics;
+    Alcotest.test_case "gc deltas non-negative" `Slow test_gc_delta_nonnegative;
+    Alcotest.test_case "node-event sampling" `Quick test_node_sampling;
+    Alcotest.test_case "summary totals row" `Slow test_summary_totals;
     Alcotest.test_case "span sequence (compress_lite golden)" `Slow
       test_span_sequence;
     Alcotest.test_case "monotonic timestamps" `Slow test_monotonic_timestamps;
