@@ -8,6 +8,7 @@
      dune exec bench/main.exe cuts       -- cut-enumeration kernel sweep
      dune exec bench/main.exe ablation   -- design-choice ablations
      dune exec bench/main.exe smoke      -- fast deterministic CI QoR gate
+     dune exec bench/main.exe partition  -- partition-parallel engine vs sequential
 
    Every subcommand additionally writes a machine-readable
    [BENCH_<name>.json] (benchmark, stage, nodes, levels, LUTs, seconds)
@@ -269,6 +270,72 @@ let smoke () =
   Bench_json.write "smoke" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)
+(* Partition: sequential flow vs the partition-parallel engine on the    *)
+(* largest suite members.  Reports wall time, QoR and the engine's       *)
+(* accept/reject statistics.  Speedup over sequential depends on the     *)
+(* host: on a single-core box the domain pool adds overhead instead of   *)
+(* hiding latency — numbers are recorded as measured.                    *)
+(* -------------------------------------------------------------------- *)
+
+let partition_bench () =
+  print_endline "=== Partition-parallel engine vs sequential flow ===";
+  let module F = Flow.Make (Aig) in
+  let module P = Flow.Partition.Make (Aig) in
+  let module Copy = Convert.Make (Aig) (Aig) in
+  let script = Script.compress_lite in
+  let size_cap = 2000 in
+  Printf.printf "script = %S, size_cap = %d\n" script size_cap;
+  Printf.printf "%-12s %-14s | %8s %5s %8s | %5s %4s %5s %5s\n" "benchmark"
+    "stage" "nodes" "lvl" "time" "parts" "acc" "rcost" "rcex";
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let baseline = Suite.build name in
+      (* a fresh env per run: no warm database favours either side *)
+      let seq, t_seq =
+        time_it (fun () ->
+            F.run_script (Flow.aig_env ()) (Copy.convert baseline) script)
+      in
+      Printf.printf "%-12s %-14s | %8d %5d %7.2fs |\n%!" name "sequential"
+        (Aig.num_gates seq) (D.depth seq) t_seq;
+      rows :=
+        row name "sequential"
+          [ ("nodes", Bench_json.Int (Aig.num_gates seq));
+            ("levels", Bench_json.Int (D.depth seq));
+            ("seconds", Bench_json.Float t_seq) ]
+        :: !rows;
+      List.iter
+        (fun jobs ->
+          let env = Flow.aig_env () in
+          let (out, st), t_par =
+            time_it (fun () ->
+                P.run ~size_cap ~jobs ~script
+                  ~make_env:(fun () -> env)
+                  (Copy.convert baseline))
+          in
+          let stage = Printf.sprintf "partition-j%d" jobs in
+          Printf.printf
+            "%-12s %-14s | %8d %5d %7.2fs | %5d %4d %5d %5d (speedup %.2fx)\n%!"
+            name stage (Aig.num_gates out) (D.depth out) t_par st.P.partitions
+            st.P.accepted st.P.rejected_cost st.P.rejected_cex (t_seq /. t_par);
+          rows :=
+            row name stage
+              [ ("nodes", Bench_json.Int (Aig.num_gates out));
+                ("levels", Bench_json.Int (D.depth out));
+                ("seconds", Bench_json.Float t_par);
+                ("partitions", Bench_json.Int st.P.partitions);
+                ("accepted", Bench_json.Int st.P.accepted);
+                ("rejected_cost", Bench_json.Int st.P.rejected_cost);
+                ("rejected_cex", Bench_json.Int st.P.rejected_cex);
+                ("sim_mismatches", Bench_json.Int st.P.sim_mismatches);
+                ("speedup", Bench_json.Float (t_seq /. t_par)) ]
+            :: !rows)
+        [ 1; 2; 4 ])
+    [ "div"; "mem_ctrl" ];
+  print_newline ();
+  Bench_json.write "partition" (List.rev !rows)
+
+(* -------------------------------------------------------------------- *)
 (* Microbenchmarks (Bechamel): the scalability kernels of paper §2.2.    *)
 (* -------------------------------------------------------------------- *)
 
@@ -524,14 +591,17 @@ let () =
   | "cuts" -> cuts_bench ()
   | "ablation" -> ablation ()
   | "smoke" -> smoke ()
+  | "partition" -> partition_bench ()
   | "all" ->
     micro ();
     cuts_bench ();
     table1 ();
     table2 ();
-    ablation ()
+    ablation ();
+    partition_bench ()
   | other ->
     Printf.eprintf
-      "unknown bench target %s (table1|table2|micro|cuts|ablation|smoke|all)\n"
+      "unknown bench target %s \
+       (table1|table2|micro|cuts|ablation|smoke|partition|all)\n"
       other;
     exit 1

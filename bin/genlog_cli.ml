@@ -86,12 +86,57 @@ let sample_arg =
               accepted) in the trace; 0 disables node sampling. Implies \
               nothing by itself — combine with $(b,--trace) or $(b,--stats).")
 
+let partition_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "partition" ] ~docv:"SIZE"
+        ~doc:"Carve the network into partitions of at most $(docv) gates and \
+              optimize them in parallel (0 disables partitioning). Every \
+              stitched replacement is guarded by random simulation with SAT \
+              escalation, so the result is equivalence-checked by \
+              construction.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for $(b,--partition) (default: the runtime's \
+              recommended domain count).")
+
+(* One code path for all four representations: run the whole-network script
+   engine, or the partition-parallel engine when a partition size is set.
+   The exact-synthesis database is domain-safe, so a single [env] is shared
+   by every worker. *)
+let optimize_network (type t)
+    (module N : Genlog.Intf.NETWORK with type t = t) env ~script ~trace
+    ~partition ~jobs (net : t) : t =
+  if partition > 0 then begin
+    let module P = Genlog.Flow.Partition.Make (N) in
+    let r, st =
+      P.run ~size_cap:partition ~jobs ~script ~trace
+        ~make_env:(fun () -> env)
+        net
+    in
+    Printf.eprintf
+      "partition: %d pieces, %d accepted, %d rejected (cost), %d rejected \
+       (cex), %d sim mismatches, jobs = %d\n\
+       %!"
+      st.P.partitions st.P.accepted st.P.rejected_cost st.P.rejected_cex
+      st.P.sim_mismatches st.P.jobs;
+    r
+  end
+  else
+    let module F = Genlog.Flow.Make (N) in
+    F.run_script env ~trace net script
+
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
   in
-  let run file rep script output trace_file stats sample =
+  let run file rep script output trace_file stats sample partition jobs =
     let t = read_aig file in
     Printf.eprintf "baseline: %s\n%!" (stats_of_aig t);
     let rep_name =
@@ -105,34 +150,42 @@ let opt_cmd =
     let optimized_aig =
       match rep with
       | `Aig ->
-        let module F = Genlog.Flow.Make (Aig) in
-        let r = F.run_script (Genlog.Flow.aig_env ()) ~trace t script in
+        let r =
+          optimize_network (module Aig) (Genlog.Flow.aig_env ()) ~script
+            ~trace ~partition ~jobs t
+        in
         Printf.eprintf "aig: gates = %d depth = %d\n%!" (Aig.num_gates r) (D.depth r);
         r
       | `Mig ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Mig) in
         let module Cb = Genlog.Convert.Make (Genlog.Mig) (Aig) in
-        let module F = Genlog.Flow.Make (Genlog.Mig) in
         let module Dm = Genlog.Depth.Make (Genlog.Mig) in
-        let r = F.run_script (Genlog.Flow.mig_env ()) ~trace (C.convert t) script in
+        let r =
+          optimize_network (module Genlog.Mig) (Genlog.Flow.mig_env ())
+            ~script ~trace ~partition ~jobs (C.convert t)
+        in
         Printf.eprintf "mig: gates = %d depth = %d (written back as AIG)\n%!"
           (Genlog.Mig.num_gates r) (Dm.depth r);
         Cb.convert r
       | `Xag ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Xag) in
         let module Cb = Genlog.Convert.Make (Genlog.Xag) (Aig) in
-        let module F = Genlog.Flow.Make (Genlog.Xag) in
         let module Dx = Genlog.Depth.Make (Genlog.Xag) in
-        let r = F.run_script (Genlog.Flow.xag_env ()) ~trace (C.convert t) script in
+        let r =
+          optimize_network (module Genlog.Xag) (Genlog.Flow.xag_env ())
+            ~script ~trace ~partition ~jobs (C.convert t)
+        in
         Printf.eprintf "xag: gates = %d depth = %d (written back as AIG)\n%!"
           (Genlog.Xag.num_gates r) (Dx.depth r);
         Cb.convert r
       | `Xmg ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Xmg) in
         let module Cb = Genlog.Convert.Make (Genlog.Xmg) (Aig) in
-        let module F = Genlog.Flow.Make (Genlog.Xmg) in
         let module Dx = Genlog.Depth.Make (Genlog.Xmg) in
-        let r = F.run_script (Genlog.Flow.xmg_env ()) ~trace (C.convert t) script in
+        let r =
+          optimize_network (module Genlog.Xmg) (Genlog.Flow.xmg_env ())
+            ~script ~trace ~partition ~jobs (C.convert t)
+        in
         Printf.eprintf "xmg: gates = %d depth = %d (written back as AIG)\n%!"
           (Genlog.Xmg.num_gates r) (Dx.depth r);
         Cb.convert r
@@ -149,7 +202,7 @@ let opt_cmd =
   Cmd.v
     (Cmd.info "opt" ~doc:"Optimize with the generic resynthesis flow")
     Term.(const run $ file $ representation $ script_arg $ output $ trace_arg
-          $ stats_flag $ sample_arg)
+          $ stats_flag $ sample_arg $ partition_arg $ jobs_arg)
 
 (* -- map -- *)
 

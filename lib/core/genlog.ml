@@ -101,4 +101,6 @@ module Flow = struct
 
   module Portfolio = Flow.Portfolio
   module Specialized_aig = Flow.Specialized_aig
+  module Partition = Flow.Partition
+  module Parmap = Flow.Parmap
 end

@@ -6,38 +6,64 @@
    process; the result — or the fact that synthesis gave up — is cached
    under the canonical truth table.  This realizes option (ii) of paper
    §2.3.2, exact synthesis on the fly, with the cache standing in for
-   mockturtle's precomputed database. *)
+   mockturtle's precomputed database.
+
+   The cache is domain-safe: accesses are mutex-guarded so one database
+   can be shared across parallel workers (the portfolio's domains, the
+   partition engine's work-stealing pool), which matters because the
+   expensive part — SAT-based synthesis of a cold class — would otherwise
+   be repeated once per worker.  Synthesis itself runs *outside* the lock:
+   two workers missing different classes synthesize concurrently, and the
+   rare race where both miss the same class costs one duplicated synthesis
+   (the first inserted result wins), never a wrong answer. *)
 
 open Kitty
 
 type t = {
   config : Synth.config;
   cache : (string, Synth.result) Hashtbl.t;
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable failures : int;
 }
 
-let create config = { config; cache = Hashtbl.create 512; hits = 0; misses = 0; failures = 0 }
+let create config =
+  {
+    config;
+    cache = Hashtbl.create 512;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    failures = 0;
+  }
 
 (* Result for the *canonical* representative of [f]'s NPN class, plus the
    transform mapping [f] to that representative. *)
 let lookup db f =
   let canonical, tr = Npn.canonize f in
   let key = Tt.to_hex canonical in
-  let entry =
-    match Hashtbl.find_opt db.cache key with
-    | Some e ->
-      db.hits <- db.hits + 1;
-      e
-    | None ->
-      db.misses <- db.misses + 1;
-      let e = Synth.synthesize db.config canonical in
-      if e = Synth.Failed then db.failures <- db.failures + 1;
-      Hashtbl.replace db.cache key e;
-      e
-  in
-  (entry, tr)
+  Mutex.lock db.lock;
+  match Hashtbl.find_opt db.cache key with
+  | Some e ->
+    db.hits <- db.hits + 1;
+    Mutex.unlock db.lock;
+    (e, tr)
+  | None ->
+    db.misses <- db.misses + 1;
+    Mutex.unlock db.lock;
+    let e = Synth.synthesize db.config canonical in
+    Mutex.lock db.lock;
+    let e =
+      match Hashtbl.find_opt db.cache key with
+      | Some winner -> winner (* another worker raced us; keep its result *)
+      | None ->
+        if e = Synth.Failed then db.failures <- db.failures + 1;
+        Hashtbl.replace db.cache key e;
+        e
+    in
+    Mutex.unlock db.lock;
+    (e, tr)
 
 let stats db = (db.hits, db.misses, db.failures)
 

@@ -1,0 +1,51 @@
+(* Domain-parallel map over a shared work queue.
+
+   Jobs live in one array and idle workers steal the next unclaimed index
+   through a single atomic cursor — the simplest work-stealing deque
+   degenerate (one global queue, steal = fetch_and_add), which is the right
+   trade-off here: partition optimization jobs are coarse (milliseconds to
+   seconds each), so queue contention is irrelevant and the atomic cursor
+   gives perfect dynamic load balancing without per-worker deques.
+
+   Each worker owns private state built by [init] (index 0 is the calling
+   domain).  This matters because flow state is not shareable across
+   domains: an [Engine.env] carries a mutable exact-synthesis database and
+   a trace child sink is single-writer, so every worker must build its
+   own.  The per-worker states are returned in worker order so the caller
+   can merge trace children deterministically (join order, like the
+   portfolio does).
+
+   The first exception raised by any job is re-raised on the calling
+   domain after all workers have drained; remaining workers stop stealing
+   once a failure is recorded. *)
+
+let map (type s a b) ?(jobs = Domain.recommended_domain_count ())
+    ~(init : int -> s) ~(f : s -> a -> b) (items : a array) : b array * s array
+    =
+  let n = Array.length items in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let results : b option array = Array.make n None in
+  let states : s option array = Array.make jobs None in
+  let cursor = Atomic.make 0 in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let worker k () =
+    let state = init k in
+    states.(k) <- Some state;
+    let rec steal () =
+      if Atomic.get failure = None then begin
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (try results.(i) <- Some (f state items.(i))
+           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+          steal ()
+        end
+      end
+    in
+    steal ()
+  in
+  let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
+  List.iter Domain.join domains;
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  let get = function Some r -> r | None -> assert false in
+  (Array.map get results, Array.map get states)

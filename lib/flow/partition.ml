@@ -1,0 +1,437 @@
+(* Partition-parallel optimization: the intra-network counterpart of the
+   portfolio's flow-level parallelism.
+
+   The network is carved into disjoint, output-bounded partitions by
+   reconvergence-driven region growing: regions are extended greedily by
+   the eligible gate that introduces the fewest fresh leaves, so growth
+   follows reconvergent paths (a gate whose fanins are already inside
+   costs nothing) exactly like the min-cost leaf expansion of
+   [Algo.Reconv].  A gate only becomes eligible once every fanin gate is
+   assigned (to this or an earlier region), which makes every partition
+   topologically convex by construction: partition indices are a valid
+   evaluation order, and each partition's leaves are primary inputs or
+   outputs of strictly earlier partitions.  That convexity is what makes
+   the final stitch a single forward pass instead of a fixpoint.
+
+   Each partition is exported as a standalone sub-network (fresh PI per
+   leaf, PO per boundary gate) and any [Script] pipeline runs on the
+   pieces concurrently across OCaml 5 domains ([Parmap]).  A replacement
+   is kept only when it improves the cost function (gate count, then
+   depth), and every kept replacement is guarded: a random-simulation
+   fingerprint first ([Algo.Simulate.Cross]), escalating to a full SAT
+   equivalence check ([Algo.Cec]) when the fingerprint disagrees.  The
+   guarded pieces are then rebuilt into a fresh parent through the
+   destination's structural hasher, which also deduplicates across
+   partition boundaries and sweeps dangling logic.
+
+   Instrumentation: one span per phase (carve / opt / stitch) plus one
+   span and one counter event per partition on the worker's trace child,
+   and a metrics registry with per-partition size/gain/latency
+   histograms. *)
+
+module Make (N : Network.Intf.NETWORK) = struct
+  module B = Network.Build.Make (N)
+  module T = Algo.Topo.Make (N)
+  module E = Engine.Make (N)
+  module Dp = Algo.Depth.Make (N)
+  module Copy = Network.Convert.Make (N) (N)
+  module Sim = Algo.Simulate.Cross (N) (N)
+  module Cec = Algo.Cec.Make (N) (N)
+
+  type partition = {
+    id : int;
+    gates : N.node array;  (* parent gates, topological within the region *)
+    leaves : N.node array;  (* distinct external fanins: PIs or earlier gates *)
+    outputs : N.node array;  (* region gates referenced outside the region *)
+  }
+
+  (* -- carving -- *)
+
+  let carve ?(size_cap = 2000) (net : N.t) : partition list =
+    let size_cap = max 1 size_cap in
+    let n = N.size net in
+    let order = T.order net in
+    let reachable = Array.make n false in
+    List.iter (fun g -> reachable.(g) <- true) order;
+    (* Unassigned-fanin-gate counters, one per fanin edge (fanout lists
+       mirror fanin edges, so the decrements below stay consistent). *)
+    let remaining = Array.make n 0 in
+    List.iter
+      (fun g ->
+        let r = ref 0 in
+        Array.iter
+          (fun s -> if N.is_gate net (N.node_of_signal s) then incr r)
+          (N.fanin net g);
+        remaining.(g) <- !r)
+      order;
+    let part = Array.make n (-1) in
+    let eligible = ref [] in
+    List.iter
+      (fun g -> if remaining.(g) = 0 then eligible := g :: !eligible)
+      order;
+    let rec remove_first x = function
+      | [] -> []
+      | y :: tl -> if y = x then tl else y :: remove_first x tl
+    in
+    let partitions = ref [] in
+    let pid = ref 0 in
+    while !eligible <> [] do
+      let id = !pid in
+      let region_rev = ref [] in
+      let region_size = ref 0 in
+      let leaves_rev = ref [] in
+      let is_leaf = Hashtbl.create 64 in
+      (* Fresh leaves gate [g] would add to the open region: fanins that are
+         neither constant, inside the region, nor already leaves. *)
+      let cost g =
+        let c = ref 0 in
+        Array.iter
+          (fun s ->
+            let f = N.node_of_signal s in
+            if f <> 0 && part.(f) <> id && not (Hashtbl.mem is_leaf f) then
+              incr c)
+          (N.fanin net g);
+        !c
+      in
+      let take_best () =
+        match !eligible with
+        | [] -> None
+        | first :: rest ->
+          let best = ref first and best_cost = ref (cost first) in
+          (try
+             List.iter
+               (fun g ->
+                 if !best_cost = 0 then raise Exit;
+                 let c = cost g in
+                 if c < !best_cost then begin
+                   best := g;
+                   best_cost := c
+                 end)
+               rest
+           with Exit -> ());
+          eligible := remove_first !best !eligible;
+          Some !best
+      in
+      let growing = ref true in
+      while !growing && !region_size < size_cap do
+        match take_best () with
+        | None -> growing := false
+        | Some g ->
+          part.(g) <- id;
+          incr region_size;
+          region_rev := g :: !region_rev;
+          Array.iter
+            (fun s ->
+              let f = N.node_of_signal s in
+              if f <> 0 && part.(f) <> id && not (Hashtbl.mem is_leaf f) then begin
+                Hashtbl.replace is_leaf f ();
+                leaves_rev := f :: !leaves_rev
+              end)
+            (N.fanin net g);
+          List.iter
+            (fun h ->
+              if reachable.(h) && part.(h) = -1 then begin
+                remaining.(h) <- remaining.(h) - 1;
+                if remaining.(h) = 0 then eligible := h :: !eligible
+              end)
+            (N.fanout net g)
+      done;
+      partitions :=
+        {
+          id;
+          gates = Array.of_list (List.rev !region_rev);
+          leaves = Array.of_list (List.rev !leaves_rev);
+          outputs = [||];
+        }
+        :: !partitions;
+      incr pid
+    done;
+    (* Boundary gates: referenced by a primary output or by a gate of a
+       different partition.  Dangling gates were never assigned and simply
+       do not survive the stitch. *)
+    let is_out = Array.make n false in
+    N.foreach_po net (fun s ->
+        let f = N.node_of_signal s in
+        if N.is_gate net f then is_out.(f) <- true);
+    List.iter
+      (fun g ->
+        Array.iter
+          (fun s ->
+            let f = N.node_of_signal s in
+            if N.is_gate net f && part.(f) <> part.(g) then is_out.(f) <- true)
+          (N.fanin net g))
+      order;
+    List.rev_map
+      (fun p ->
+        {
+          p with
+          outputs =
+            Array.of_list
+              (List.filter (fun g -> is_out.(g)) (Array.to_list p.gates));
+        })
+      !partitions
+
+  (* -- export: one partition as a standalone sub-network -- *)
+
+  (* Read-only on the parent, so exports may run concurrently. *)
+  let export (net : N.t) (p : partition) : N.t =
+    let cap = Array.length p.gates + Array.length p.leaves + 2 in
+    let sub = N.create ~initial_capacity:cap () in
+    let map = Hashtbl.create (2 * cap) in
+    Array.iter (fun l -> Hashtbl.replace map l (N.create_pi sub)) p.leaves;
+    let resolve s =
+      let f = N.node_of_signal s in
+      let base = if f = 0 then N.constant false else Hashtbl.find map f in
+      N.complement_if (N.is_complemented s) base
+    in
+    Array.iter
+      (fun g ->
+        let fanins = Array.map resolve (N.fanin net g) in
+        Hashtbl.replace map g (B.of_kind sub (N.gate_kind net g) fanins))
+      p.gates;
+    Array.iter (fun g -> N.create_po sub (Hashtbl.find map g)) p.outputs;
+    sub
+
+  (* -- per-partition optimization with the equivalence guard -- *)
+
+  type verdict = Accepted | Rejected_cost | Rejected_cex
+
+  type piece_result = {
+    part : partition;
+    chosen : N.t;  (* what the stitch will instantiate *)
+    verdict : verdict;
+    gates_before : int;
+    gates_after : int;
+    sim_mismatch : bool;
+    cec_checked : bool;
+    seconds : float;
+  }
+
+  type worker_state = { env : Engine.env; wtrace : Obs.Trace.t }
+
+  let optimize_piece (st : worker_state) ~script ~sim_vars ~sim_rounds
+      ~cec_conflict_budget (net : N.t) (p : partition) : piece_result =
+    let trace = st.wtrace in
+    let traced = Obs.Trace.enabled trace in
+    let t0 = Unix.gettimeofday () in
+    let g0 = Gc.quick_stat () in
+    let sub = export net p in
+    let gates_before = N.num_gates sub in
+    let pass = Printf.sprintf "part%d" p.id in
+    if traced then
+      Obs.Trace.pass_begin trace ~pass ~index:p.id ~gates:gates_before
+        ~depth:(Dp.depth sub);
+    let optimized = E.run_script st.env (Copy.convert sub) script in
+    let improved =
+      let ga = N.num_gates optimized in
+      ga < gates_before || (ga = gates_before && Dp.depth optimized < Dp.depth sub)
+    in
+    let chosen, verdict, sim_mismatch, cec_checked =
+      if not improved then (sub, Rejected_cost, false, false)
+      else if
+        Sim.probably_equivalent ~num_vars:sim_vars ~rounds:sim_rounds sub
+          optimized
+      then (optimized, Accepted, false, false)
+      else begin
+        (* The fingerprint disagreed: let SAT decide.  Only a proof of
+           equivalence may override it; Unknown keeps the original. *)
+        match Cec.check ~conflict_budget:cec_conflict_budget sub optimized with
+        | Algo.Cec.Equivalent -> (optimized, Accepted, true, true)
+        | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+          (sub, Rejected_cex, true, true)
+      end
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let gates_after = N.num_gates chosen in
+    if traced then begin
+      Obs.Trace.report trace ~algo:"partition"
+        [
+          ("part", p.id);
+          ("gates", gates_before);
+          ("leaves", Array.length p.leaves);
+          ("outputs", Array.length p.outputs);
+          ("gain", gates_before - gates_after);
+          ("accepted", if verdict = Accepted then 1 else 0);
+          ("sim_mismatch", if sim_mismatch then 1 else 0);
+          ("cec_checked", if cec_checked then 1 else 0);
+        ];
+      Obs.Trace.pass_end trace
+        ~gc:(Obs.Trace.gc_diff g0 (Gc.quick_stat ()))
+        ~pass ~index:p.id ~gates:gates_after ~depth:(Dp.depth chosen)
+        ~elapsed:seconds ()
+    end;
+    { part = p; chosen; verdict; gates_before; gates_after; sim_mismatch;
+      cec_checked; seconds }
+
+  (* -- stitch: rebuild the parent from the guarded pieces -- *)
+
+  (* Convexity guarantees a single forward pass suffices: when partition
+     [i] is instantiated, every leaf is a parent PI or an output of a
+     partition [< i], so its destination signal is already known.  The
+     destination's structural hasher deduplicates identical logic across
+     partition boundaries, and logic not reachable from the POs is never
+     instantiated. *)
+  let stitch (net : N.t) (pieces : piece_result array) : N.t =
+    let dst = N.create ~initial_capacity:(N.size net) () in
+    let map = Array.make (N.size net) (-1) in
+    map.(0) <- N.constant false;
+    N.foreach_pi net (fun pi -> map.(pi) <- N.create_pi dst);
+    Array.iter
+      (fun r ->
+        let chosen = r.chosen in
+        let imap = Array.make (N.size chosen) (-1) in
+        imap.(0) <- N.constant false;
+        Array.iteri
+          (fun i pi ->
+            let leaf = r.part.leaves.(i) in
+            assert (map.(leaf) >= 0);
+            imap.(pi) <- map.(leaf))
+          (N.pis chosen);
+        List.iter
+          (fun g ->
+            let fanins =
+              Array.map
+                (fun s ->
+                  N.complement_if (N.is_complemented s)
+                    imap.(N.node_of_signal s))
+                (N.fanin chosen g)
+            in
+            imap.(g) <- B.of_kind dst (N.gate_kind chosen g) fanins)
+          (T.order chosen);
+        Array.iteri
+          (fun j s ->
+            map.(r.part.outputs.(j)) <-
+              N.complement_if (N.is_complemented s) imap.(N.node_of_signal s))
+          (N.pos chosen))
+      pieces;
+    N.foreach_po net (fun s ->
+        N.create_po dst
+          (N.complement_if (N.is_complemented s) map.(N.node_of_signal s)));
+    dst
+
+  (* -- the engine -- *)
+
+  type stats = {
+    partitions : int;
+    accepted : int;
+    rejected_cost : int;
+    rejected_cex : int;
+    sim_mismatches : int;
+    cec_escalations : int;
+    jobs : int;
+    gates_before : int;
+    gates_after : int;
+    carve_seconds : float;
+    optimize_seconds : float;
+    stitch_seconds : float;
+  }
+
+  (* Run [script] over every partition of [net] in parallel and return the
+     stitched result.  [make_env] builds one engine environment per worker
+     domain: the exact-synthesis database is mutable, so workers must not
+     share one.  The parent network is only read between carve and stitch,
+     which is what makes the worker phase safe. *)
+  let run ?(size_cap = 2000) ?(jobs = Domain.recommended_domain_count ())
+      ?(script = Script.compress2rs) ?(trace = Obs.Trace.null) ?(sim_vars = 8)
+      ?(sim_rounds = 4) ?(cec_conflict_budget = 0) ~make_env (net : N.t) :
+      N.t * stats =
+    let traced = Obs.Trace.enabled trace in
+    let gates_before = N.num_gates net in
+    let d0 = if traced then Dp.depth net else 0 in
+    (* carve *)
+    let t0 = Unix.gettimeofday () in
+    let g0 = Gc.quick_stat () in
+    if traced then
+      Obs.Trace.pass_begin trace ~pass:"partition-carve" ~index:0
+        ~gates:gates_before ~depth:d0;
+    let parts = Array.of_list (carve ~size_cap net) in
+    let carve_seconds = Unix.gettimeofday () -. t0 in
+    if traced then begin
+      Obs.Trace.report trace ~algo:"partition"
+        [ ("partitions", Array.length parts); ("size_cap", size_cap) ];
+      Obs.Trace.pass_end trace
+        ~gc:(Obs.Trace.gc_diff g0 (Gc.quick_stat ()))
+        ~pass:"partition-carve" ~index:0 ~gates:gates_before ~depth:d0
+        ~elapsed:carve_seconds ()
+    end;
+    (* optimize (the parent is untouched here, so its stats are stable) *)
+    let t1 = Unix.gettimeofday () in
+    let g1 = Gc.quick_stat () in
+    if traced then
+      Obs.Trace.pass_begin trace ~pass:"partition-opt" ~index:1
+        ~gates:gates_before ~depth:d0;
+    let results, states =
+      Parmap.map ~jobs
+        ~init:(fun k ->
+          {
+            env = make_env ();
+            wtrace = Obs.Trace.child trace ~flow:(Printf.sprintf "w%d" k);
+          })
+        ~f:(fun st p ->
+          optimize_piece st ~script ~sim_vars ~sim_rounds ~cec_conflict_budget
+            net p)
+        parts
+    in
+    let optimize_seconds = Unix.gettimeofday () -. t1 in
+    Obs.Trace.merge trace
+      (Array.to_list (Array.map (fun st -> st.wtrace) states));
+    let count f = Array.fold_left (fun a r -> if f r then a + 1 else a) 0 results in
+    let accepted = count (fun r -> r.verdict = Accepted) in
+    let rejected_cost = count (fun r -> r.verdict = Rejected_cost) in
+    let rejected_cex = count (fun r -> r.verdict = Rejected_cex) in
+    let sim_mismatches = count (fun r -> r.sim_mismatch) in
+    let cec_escalations = count (fun r -> r.cec_checked) in
+    if traced then begin
+      let m = Obs.Metrics.of_trace trace ~algo:"partition" in
+      let h_gates = Obs.Metrics.histogram m "partition_gates" in
+      let h_gain = Obs.Metrics.histogram m "partition_gain" in
+      let h_seconds = Obs.Metrics.histogram m "partition_seconds_ns" in
+      Array.iter
+        (fun (r : piece_result) ->
+          Obs.Metrics.observe h_gates r.gates_before;
+          Obs.Metrics.observe h_gain (r.gates_before - r.gates_after);
+          Obs.Metrics.observe_time h_seconds r.seconds)
+        results;
+      Obs.Metrics.add (Obs.Metrics.counter m "accepted") accepted;
+      Obs.Metrics.add (Obs.Metrics.counter m "rejected_cost") rejected_cost;
+      Obs.Metrics.add (Obs.Metrics.counter m "rejected_cex") rejected_cex;
+      Obs.Metrics.add (Obs.Metrics.counter m "sim_mismatches") sim_mismatches;
+      Obs.Metrics.add (Obs.Metrics.counter m "cec_escalations") cec_escalations;
+      Obs.Metrics.set (Obs.Metrics.gauge m "jobs") jobs;
+      Obs.Metrics.set (Obs.Metrics.gauge m "size_cap") size_cap;
+      Obs.Metrics.emit m trace;
+      Obs.Trace.pass_end trace
+        ~gc:(Obs.Trace.gc_diff g1 (Gc.quick_stat ()))
+        ~pass:"partition-opt" ~index:1 ~gates:gates_before ~depth:d0
+        ~elapsed:optimize_seconds ()
+    end;
+    (* stitch *)
+    let t2 = Unix.gettimeofday () in
+    let g2 = Gc.quick_stat () in
+    if traced then
+      Obs.Trace.pass_begin trace ~pass:"partition-stitch" ~index:2
+        ~gates:gates_before ~depth:d0;
+    let out = stitch net results in
+    let stitch_seconds = Unix.gettimeofday () -. t2 in
+    let gates_after = N.num_gates out in
+    if traced then
+      Obs.Trace.pass_end trace
+        ~gc:(Obs.Trace.gc_diff g2 (Gc.quick_stat ()))
+        ~pass:"partition-stitch" ~index:2 ~gates:gates_after
+        ~depth:(Dp.depth out) ~elapsed:stitch_seconds ();
+    ( out,
+      {
+        partitions = Array.length parts;
+        accepted;
+        rejected_cost;
+        rejected_cex;
+        sim_mismatches;
+        cec_escalations;
+        jobs;
+        gates_before;
+        gates_after;
+        carve_seconds;
+        optimize_seconds;
+        stitch_seconds;
+      } )
+end

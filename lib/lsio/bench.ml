@@ -1,6 +1,8 @@
-(* BENCH-format writer, generic over the network representation.  BENCH has
-   no complemented edges, so complements are materialized as NOT lines
-   (deduplicated per node). *)
+(* BENCH-format writer (generic over the network representation) and
+   reader (into k-LUT networks).  BENCH has no complemented edges, so the
+   writer materializes complements as NOT lines (deduplicated per node);
+   the reader folds NOT/BUFF back into complemented signals and turns
+   every logic operator into the equivalent LUT. *)
 
 module Make (N : Network.Intf.STRUCTURE) = struct
   let write (t : N.t) (oc : out_channel) =
@@ -57,3 +59,140 @@ module Make (N : Network.Intf.STRUCTURE) = struct
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write t oc)
 end
+
+(* -- reader -- *)
+
+exception Parse_error of string
+
+(* A parsed right-hand side.  NOT/BUFF stay symbolic so they can be folded
+   into signal complements instead of becoming gates. *)
+type rhs =
+  | Gnd
+  | Vdd
+  | Unary of bool * string  (* complemented?, operand *)
+  | Gate of Kitty.Tt.t * string list  (* local function over the operands *)
+
+(* Truth table of an n-ary BENCH operator over [k] variables. *)
+let op_tt op k =
+  let open Kitty.Tt in
+  if k = 0 then raise (Parse_error ("operator without operands: " ^ op));
+  let fold f =
+    let acc = ref (nth_var k 0) in
+    for i = 1 to k - 1 do
+      acc := f !acc (nth_var k i)
+    done;
+    !acc
+  in
+  match op with
+  | "AND" -> fold ( &: )
+  | "NAND" -> ( ~: ) (fold ( &: ))
+  | "OR" -> fold ( |: )
+  | "NOR" -> ( ~: ) (fold ( |: ))
+  | "XOR" -> fold ( ^: )
+  | "XNOR" -> ( ~: ) (fold ( ^: ))
+  | _ -> raise (Parse_error ("unsupported BENCH operator: " ^ op))
+
+(* "OP(a, b, ...)" -> (OP, [a; b; ...]) *)
+let parse_call s =
+  match String.index_opt s '(' with
+  | None -> raise (Parse_error ("expected operator call: " ^ s))
+  | Some i ->
+    let j =
+      match String.rindex_opt s ')' with
+      | Some j when j > i -> j
+      | _ -> raise (Parse_error ("unbalanced parentheses: " ^ s))
+    in
+    let op = String.trim (String.sub s 0 i) in
+    let args =
+      String.sub s (i + 1) (j - i - 1)
+      |> String.split_on_char ','
+      |> List.map String.trim
+      |> List.filter (fun a -> a <> "")
+    in
+    (op, args)
+
+(* Read a combinational BENCH netlist into a k-LUT network (the same
+   container the BLIF reader targets): INPUT/OUTPUT, gnd/vdd, NOT/BUFF,
+   AND/NAND/OR/NOR/XOR/XNOR and LUT 0x<hex>.  Definitions may appear in
+   any order; names are resolved recursively with cycle detection. *)
+let read (ic : in_channel) : Network.Klut.t =
+  let module Klut = Network.Klut in
+  let inputs = ref [] and outputs = ref [] in
+  let defs : (string, rhs) Hashtbl.t = Hashtbl.create 64 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || line.[0] = '#' then ()
+       else
+         match String.index_opt line '=' with
+         | None -> (
+           let op, args = parse_call line in
+           match (String.uppercase_ascii op, args) with
+           | "INPUT", [ x ] -> inputs := x :: !inputs
+           | "OUTPUT", [ x ] -> outputs := x :: !outputs
+           | _ -> raise (Parse_error ("unsupported line: " ^ line)))
+         | Some e ->
+           let name = String.trim (String.sub line 0 e) in
+           let rhs_s =
+             String.trim (String.sub line (e + 1) (String.length line - e - 1))
+           in
+           let rhs =
+             match String.lowercase_ascii rhs_s with
+             | "gnd" -> Gnd
+             | "vdd" -> Vdd
+             | _ -> (
+               let op, args = parse_call rhs_s in
+               let opu = String.uppercase_ascii op in
+               match (opu, args) with
+               | "NOT", [ x ] -> Unary (true, x)
+               | "BUFF", [ x ] -> Unary (false, x)
+               | _ ->
+                 if String.length opu >= 3 && String.sub opu 0 3 = "LUT" then begin
+                   let table = String.trim (String.sub op 3 (String.length op - 3)) in
+                   if
+                     String.length table < 3
+                     || table.[0] <> '0'
+                     || (table.[1] <> 'x' && table.[1] <> 'X')
+                   then raise (Parse_error ("bad LUT table: " ^ rhs_s));
+                   let hex = String.sub table 2 (String.length table - 2) in
+                   Gate (Kitty.Tt.of_hex (List.length args) hex, args)
+                 end
+                 else Gate (op_tt opu (List.length args), args))
+           in
+           if Hashtbl.mem defs name then
+             raise (Parse_error ("redefinition of " ^ name));
+           Hashtbl.replace defs name rhs
+     done
+   with End_of_file -> ());
+  let t = Klut.create () in
+  let signals : (string, Klut.signal) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun x -> Hashtbl.replace signals x (Klut.create_pi t))
+    (List.rev !inputs);
+  let visiting = Hashtbl.create 16 in
+  let rec resolve name =
+    match Hashtbl.find_opt signals name with
+    | Some s -> s
+    | None ->
+      if Hashtbl.mem visiting name then
+        raise (Parse_error ("combinational cycle through " ^ name));
+      Hashtbl.replace visiting name ();
+      let s =
+        match Hashtbl.find_opt defs name with
+        | None -> raise (Parse_error ("undefined signal " ^ name))
+        | Some Gnd -> Klut.constant false
+        | Some Vdd -> Klut.constant true
+        | Some (Unary (c, x)) -> Klut.complement_if c (resolve x)
+        | Some (Gate (tt, args)) ->
+          Klut.create_lut t (Array.of_list (List.map resolve args)) tt
+      in
+      Hashtbl.remove visiting name;
+      Hashtbl.replace signals name s;
+      s
+  in
+  List.iter (fun x -> Klut.create_po t (resolve x)) (List.rev !outputs);
+  t
+
+let read_file (path : string) : Network.Klut.t =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

@@ -1,0 +1,58 @@
+(* Shared random-network generator for the test suite.
+
+   Promoted from the ad-hoc [Random_net] functors that used to live in
+   test_algo.ml and test_network.ml: one seeded generator, parameterized
+   over any {!Network.Intf.BUILDER} slice (construction capabilities only
+   — the generator never reads structure), with shape knobs:
+
+   - [use_maj]: include MAJ gates in the operator mix.  Defaults to
+     [false]; pass [true] for majority-capable representations (MIG,
+     XMG).  The RNG draw sequence matches the historical generator
+     exactly, so existing seeded tests keep their networks bit-for-bit.
+   - [locality]: when positive, gate operands are drawn from the
+     [locality] most recent signals instead of uniformly from all
+     signals.  Small values produce deep, narrow chains; 0 (the default,
+     and the historical behavior) produces shallow, high-fanout DAGs.
+
+   For QCheck properties, {!arb_params} is a shrinkable (seed, gates)
+   pair: the network is regenerated from the pair, so shrinking toward
+   seed 0 and fewer gates stays sound and minimizes failing cases. *)
+
+module Make (N : Network.Intf.BUILDER) = struct
+  let generate ?(use_maj = false) ?(locality = 0) ~seed ~num_pis ~num_gates
+      ~num_pos () =
+    let rng = Random.State.make [| seed |] in
+    let t = N.create () in
+    let signals = ref [] in
+    for _ = 1 to num_pis do
+      signals := N.create_pi t :: !signals
+    done;
+    let pick () =
+      let l = !signals in
+      let bound =
+        if locality > 0 then min locality (List.length l) else List.length l
+      in
+      let s = List.nth l (Random.State.int rng bound) in
+      N.complement_if (Random.State.bool rng) s
+    in
+    for _ = 1 to num_gates do
+      let s =
+        match Random.State.int rng (if use_maj then 4 else 3) with
+        | 0 -> N.create_and t (pick ()) (pick ())
+        | 1 -> N.create_or t (pick ()) (pick ())
+        | 2 -> N.create_xor t (pick ()) (pick ())
+        | _ -> N.create_maj t (pick ()) (pick ()) (pick ())
+      in
+      signals := s :: !signals
+    done;
+    for _ = 1 to num_pos do
+      N.create_po t (pick ())
+    done;
+    t
+end
+
+(* Shrinkable QCheck parameters: a (seed, num_gates) pair.  QCheck shrinks
+   pairs componentwise, so failures minimize toward seed 0 and the
+   smallest gate count that still fails. *)
+let arb_params ?(max_seed = 9999) ?(max_gates = 60) () =
+  QCheck.(pair (int_bound max_seed) (int_range 1 max_gates))

@@ -13,5 +13,6 @@ let () =
       ("report", Test_report.suite);
       ("capabilities", Test_capabilities.suite);
       ("extensions", Test_extensions.suite);
+      ("equiv", Test_equiv.suite);
       ("props", Test_props.suite);
     ]

@@ -29,35 +29,8 @@ let sample_aig () =
   Aig.create_po t abcd;
   (t, (a, b, c, d))
 
-(* Deterministic random network builder, generic over the representation. *)
-module Random_net (N : Intf.NETWORK) = struct
-  let generate ~seed ~num_pis ~num_gates ~num_pos =
-    let rng = Random.State.make [| seed |] in
-    let t = N.create () in
-    let signals = ref [] in
-    for _ = 1 to num_pis do
-      signals := N.create_pi t :: !signals
-    done;
-    let pick () =
-      let l = !signals in
-      let s = List.nth l (Random.State.int rng (List.length l)) in
-      N.complement_if (Random.State.bool rng) s
-    in
-    for _ = 1 to num_gates do
-      let s =
-        match Random.State.int rng (if N.max_fanin >= 3 then 4 else 3) with
-        | 0 -> N.create_and t (pick ()) (pick ())
-        | 1 -> N.create_or t (pick ()) (pick ())
-        | 2 -> N.create_xor t (pick ()) (pick ())
-        | _ -> N.create_maj t (pick ()) (pick ()) (pick ())
-      in
-      signals := s :: !signals
-    done;
-    for _ = 1 to num_pos do
-      N.create_po t (pick ())
-    done;
-    t
-end
+(* Random networks come from the shared [Gen] module (test/gen.ml); seeds
+   route through [Seed] so GENLOG_TEST_SEED can replay a failure. *)
 
 (* -- depth (paper Algorithm 1) -- *)
 
@@ -106,8 +79,8 @@ let test_cuts () =
     cuts
 
 let test_cut_count_limit () =
-  let module R = Random_net (Aig) in
-  let t = R.generate ~seed:7 ~num_pis:6 ~num_gates:60 ~num_pos:4 in
+  let module R = Gen.Make (Aig) in
+  let t = R.generate ~seed:(Seed.get 7) ~num_pis:6 ~num_gates:60 ~num_pos:4 () in
   let r = Cuts_aig.enumerate t ~k:4 ~cut_limit:6 () in
   Aig.foreach_gate t (fun n ->
       let c = List.length (Cuts_aig.cuts_of r n) in
@@ -178,8 +151,8 @@ let test_cec_basic () =
 let test_cec_cross_representation () =
   let module Conv = Convert.Make (Aig) (Mig) in
   let module Cec_am = Algo.Cec.Make (Aig) (Mig) in
-  let module R = Random_net (Aig) in
-  let t = R.generate ~seed:21 ~num_pis:5 ~num_gates:40 ~num_pos:3 in
+  let module R = Gen.Make (Aig) in
+  let t = R.generate ~seed:(Seed.get 21) ~num_pis:5 ~num_gates:40 ~num_pos:3 () in
   let m = Conv.convert t in
   (match Cec_am.check t m with
   | Algo.Cec.Equivalent -> ()
@@ -287,10 +260,10 @@ let test_refactor_reduces () =
 (* -- LUT mapping -- *)
 
 let test_lutmap () =
-  let module R = Random_net (Aig) in
+  let module R = Gen.Make (Aig) in
   let module L = Algo.Lutmap.Make (Aig) in
   let module Cx = Algo.Cec.Make (Aig) (Klut) in
-  let t = R.generate ~seed:3 ~num_pis:6 ~num_gates:80 ~num_pos:4 in
+  let t = R.generate ~seed:(Seed.get 3) ~num_pis:6 ~num_gates:80 ~num_pos:4 () in
   let m = L.map t ~k:6 () in
   Alcotest.(check bool) "mapping nonempty" true (m.L.lut_count > 0);
   Alcotest.(check bool) "fewer luts than gates" true
@@ -311,12 +284,15 @@ let shared_mig_db = lazy (Exact.Database.create Exact.Synth.mig_config)
 
 let preservation_test (type t) ~name
     (module N : Intf.NETWORK with type t = t) ~(pass : t -> unit) ~seeds () =
-  let module R = Random_net (N) in
+  let module R = Gen.Make (N) in
   let module C = Algo.Cec.Make (N) (N) in
   let module Cl = Convert.Cleanup (N) in
   List.iter
     (fun seed ->
-      let t = R.generate ~seed ~num_pis:5 ~num_gates:50 ~num_pos:4 in
+      let t =
+        R.generate ~use_maj:(N.max_fanin >= 3) ~seed ~num_pis:5 ~num_gates:50
+          ~num_pos:4 ()
+      in
       let t_ref = Cl.cleanup t in
       pass t;
       (match N.check_integrity t with
@@ -331,7 +307,7 @@ let preservation_test (type t) ~name
       | Algo.Cec.Unknown -> Alcotest.failf "%s: seed %d cec unknown" name seed)
     seeds
 
-let seeds = [ 1; 2; 3; 4; 5 ]
+let seeds = Seed.list [ 1; 2; 3; 4; 5 ]
 
 let test_preserve_rewrite_aig () =
   let module Rw = Algo.Rewrite.Make (Aig) in
@@ -349,7 +325,7 @@ let test_preserve_rewrite_mig () =
   let module Rw = Algo.Rewrite.Make (Mig) in
   preservation_test ~name:"rewrite/mig" (module Mig)
     ~pass:(fun t -> ignore (Rw.run t ~db:(Lazy.force shared_mig_db) ()))
-    ~seeds:[ 1; 2; 3 ] ()
+    ~seeds:(Seed.list [ 1; 2; 3 ]) ()
 
 let test_preserve_resub () =
   let module Rs_a = Algo.Resub.Make (Aig) in
@@ -414,8 +390,8 @@ let suite =
 (* -- additional coverage -- *)
 
 let test_cuts_k6 () =
-  let module R = Random_net (Aig) in
-  let t = R.generate ~seed:9 ~num_pis:8 ~num_gates:60 ~num_pos:4 in
+  let module R = Gen.Make (Aig) in
+  let t = R.generate ~seed:(Seed.get 9) ~num_pis:8 ~num_gates:60 ~num_pos:4 () in
   let r = Cuts_aig.enumerate t ~k:6 ~cut_limit:8 () in
   let values = Sim_aig.simulate_exhaustive t in
   Aig.foreach_gate t (fun n ->
@@ -431,10 +407,13 @@ let test_cuts_k6 () =
 
 let test_cuts_mig () =
   (* cut functions across a representation with constant fanins *)
-  let module R = Random_net (Mig) in
+  let module R = Gen.Make (Mig) in
   let module Cm = Algo.Cuts.Make (Mig) in
   let module Sm = Algo.Simulate.Make (Mig) in
-  let t = R.generate ~seed:4 ~num_pis:5 ~num_gates:40 ~num_pos:3 in
+  let t =
+    R.generate ~use_maj:true ~seed:(Seed.get 4) ~num_pis:5 ~num_gates:40
+      ~num_pos:3 ()
+  in
   let r = Cm.enumerate t ~k:4 ~cut_limit:6 () in
   let values = Sm.simulate_exhaustive t in
   Mig.foreach_gate t (fun n ->
@@ -448,9 +427,9 @@ let test_cuts_mig () =
 
 let test_window_divisors () =
   (* side divisors must not be in the root's TFO and must be simulatable *)
-  let module R = Random_net (Aig) in
+  let module R = Gen.Make (Aig) in
   let module W = Algo.Window.Make (Aig) in
-  let t = R.generate ~seed:15 ~num_pis:6 ~num_gates:80 ~num_pos:4 in
+  let t = R.generate ~seed:(Seed.get 15) ~num_pis:6 ~num_gates:80 ~num_pos:4 () in
   Aig.foreach_gate t (fun n ->
       if Aig.ref_count t n > 0 then begin
         let leaves = Reconv_aig.compute t ~max_leaves:8 n in
@@ -470,10 +449,10 @@ let test_window_divisors () =
       end)
 
 let test_lutmap_k4 () =
-  let module R = Random_net (Aig) in
+  let module R = Gen.Make (Aig) in
   let module L = Algo.Lutmap.Make (Aig) in
   let module Cx = Algo.Cec.Make (Aig) (Klut) in
-  let t = R.generate ~seed:19 ~num_pis:6 ~num_gates:100 ~num_pos:4 in
+  let t = R.generate ~seed:(Seed.get 19) ~num_pis:6 ~num_gates:100 ~num_pos:4 () in
   let m = L.map t ~k:4 () in
   Klut.foreach_gate m.L.klut (fun n ->
       Alcotest.(check bool) "lut arity <= 4" true (Klut.fanin_size m.L.klut n <= 4));
@@ -484,10 +463,13 @@ let test_lutmap_k4 () =
 
 let test_lutmap_of_mig () =
   (* LUT mapping is generic: map a MIG *)
-  let module R = Random_net (Mig) in
+  let module R = Gen.Make (Mig) in
   let module L = Algo.Lutmap.Make (Mig) in
   let module Cx = Algo.Cec.Make (Mig) (Klut) in
-  let t = R.generate ~seed:28 ~num_pis:6 ~num_gates:60 ~num_pos:3 in
+  let t =
+    R.generate ~use_maj:true ~seed:(Seed.get 28) ~num_pis:6 ~num_gates:60
+      ~num_pos:3 ()
+  in
   let m = L.map t ~k:6 () in
   Alcotest.(check bool) "nonempty" true (m.L.lut_count > 0);
   match Cx.check t m.L.klut with
@@ -496,9 +478,9 @@ let test_lutmap_of_mig () =
     Alcotest.fail "mig mapping not equivalent"
 
 let test_depth_klut () =
-  let module R = Random_net (Aig) in
+  let module R = Gen.Make (Aig) in
   let module L = Algo.Lutmap.Make (Aig) in
-  let t = R.generate ~seed:3 ~num_pis:6 ~num_gates:80 ~num_pos:4 in
+  let t = R.generate ~seed:(Seed.get 3) ~num_pis:6 ~num_gates:80 ~num_pos:4 () in
   let m = L.map t ~k:6 () in
   let module Dk = Algo.Depth.Make (Klut) in
   Alcotest.(check int) "depth consistent" m.L.depth (Dk.depth m.L.klut);
@@ -508,22 +490,25 @@ let test_depth_klut () =
 let test_cec_budget_unknown () =
   (* a large inequivalent pair with a 1-conflict budget must not claim
      equivalence *)
-  let module R = Random_net (Aig) in
-  let t1 = R.generate ~seed:51 ~num_pis:8 ~num_gates:150 ~num_pos:2 in
-  let t2 = R.generate ~seed:52 ~num_pis:8 ~num_gates:150 ~num_pos:2 in
+  let module R = Gen.Make (Aig) in
+  (* two *distinct* seeds even under GENLOG_TEST_SEED: the test needs
+     inequivalent networks *)
+  let s = Seed.get 51 in
+  let t1 = R.generate ~seed:s ~num_pis:8 ~num_gates:150 ~num_pos:2 () in
+  let t2 = R.generate ~seed:(s + 1) ~num_pis:8 ~num_gates:150 ~num_pos:2 () in
   match Cec_aig.check ~conflict_budget:1 t1 t2 with
   | Algo.Cec.Equivalent -> Alcotest.fail "different seeds equivalent?"
   | Algo.Cec.Counterexample _ | Algo.Cec.Unknown -> ()
 
 let test_fraig_then_rewrite_chain () =
   (* passes compose: fraig + rewrite + resub + balance in sequence *)
-  let module R = Random_net (Aig) in
+  let module R = Gen.Make (Aig) in
   let module Fr = Algo.Fraig.Make (Aig) in
   let module Rw = Algo.Rewrite.Make (Aig) in
   let module Rs = Algo.Resub.Make (Aig) in
   let module B = Algo.Balance.Make (Aig) in
   let module Cl = Convert.Cleanup (Aig) in
-  let t = R.generate ~seed:61 ~num_pis:6 ~num_gates:120 ~num_pos:5 in
+  let t = R.generate ~seed:(Seed.get 61) ~num_pis:6 ~num_gates:120 ~num_pos:5 () in
   let reference = Cl.cleanup t in
   ignore (Fr.run t ());
   ignore (Rw.run t ~db:(Lazy.force shared_aig_db) ());
@@ -542,13 +527,13 @@ let test_preserve_xmg_passes () =
   let db = Exact.Database.create Exact.Synth.xmg_config in
   preservation_test ~name:"rewrite/xmg" (module Xmg)
     ~pass:(fun t -> ignore (Rw.run t ~db ()))
-    ~seeds:[ 1; 2 ] ();
+    ~seeds:(Seed.list [ 1; 2 ]) ();
   preservation_test ~name:"resub/xmg" (module Xmg)
     ~pass:(fun t -> ignore (Rs.run t ~kernel:Algo.Resub.Maj3 ()))
-    ~seeds:[ 1; 2 ] ();
+    ~seeds:(Seed.list [ 1; 2 ]) ();
   preservation_test ~name:"balance/xmg" (module Xmg)
     ~pass:(fun t -> ignore (B.run t))
-    ~seeds:[ 1; 2 ] ()
+    ~seeds:(Seed.list [ 1; 2 ]) ()
 
 let test_mffc_respects_po_refs () =
   (* a node driving a PO directly is referenced and not inside any MFFC *)

@@ -117,7 +117,7 @@ let test_mig_algebraic_adder_depth () =
 let test_mig_algebraic_random_preserves () =
   let module Cm = Algo.Cec.Make (Mig) (Mig) in
   let module Cl = Convert.Cleanup (Mig) in
-  let rng_seeds = [ 11; 12; 13 ] in
+  let rng_seeds = Seed.list [ 11; 12; 13 ] in
   List.iter
     (fun seed ->
       let rng = Random.State.make [| seed |] in
@@ -273,7 +273,7 @@ let test_fraig_preserves_random () =
       | Algo.Cec.Equivalent -> ()
       | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
         Alcotest.failf "fraig/xag seed %d: function changed" seed)
-    [ 31; 32; 33; 34 ]
+    (Seed.list [ 31; 32; 33; 34 ])
 
 let test_fraig_in_script () =
   let module S = Lsgen.Suite.Make (Aig) in
@@ -380,7 +380,7 @@ let test_odc_resub_preserves_random () =
       | Algo.Cec.Equivalent -> ()
       | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
         Alcotest.failf "odc resub seed %d: outputs changed" seed)
-    [ 41; 42; 43; 44; 45; 46 ]
+    (Seed.list [ 41; 42; 43; 44; 45; 46 ])
 
 let test_odc_resub_gains () =
   (* on a real benchmark, ODC resub should do at least as well as plain *)

@@ -96,7 +96,7 @@ let test_npn_class_count_3 () =
 
 let test_npn_db_assignment () =
   (* db_input_assignment reconstructs f from the canonical form *)
-  let rng = Random.State.make [| 42 |] in
+  let rng = Seed.state 42 in
   for _ = 1 to 200 do
     let v = Random.State.int rng 65536 in
     let f = Tt.of_int64 4 (Int64.of_int v) in
@@ -275,7 +275,7 @@ let test_npn_class_count_4 () =
   Alcotest.(check int) "222 NPN classes of 4 vars" 222 (Hashtbl.length classes)
 
 let test_npn_roundtrip_4 () =
-  let rng = Random.State.make [| 99 |] in
+  let rng = Seed.state 99 in
   for _ = 1 to 500 do
     let v = Random.State.int rng 65536 in
     let f = Tt.of_int64 4 (Int64.of_int v) in
@@ -299,7 +299,7 @@ let test_cube_ops () =
 
 let test_isop_irredundant () =
   (* each ISOP cube must be necessary: removing any changes the function *)
-  let rng = Random.State.make [| 7 |] in
+  let rng = Seed.state 7 in
   for _ = 1 to 50 do
     let v = Random.State.int rng 65536 in
     let f = Tt.of_int64 4 (Int64.of_int v) in
@@ -314,7 +314,7 @@ let test_isop_irredundant () =
 
 let test_factor_not_worse_than_sop () =
   (* the factored form never has more literals than the flat SOP *)
-  let rng = Random.State.make [| 13 |] in
+  let rng = Seed.state 13 in
   for _ = 1 to 100 do
     let v = Random.State.int rng 65536 in
     let f = Tt.of_int64 4 (Int64.of_int v) in

@@ -140,7 +140,7 @@ let test_max_tree () =
   let best, idx = B.max_tree t words in
   B.output_word t best;
   B.output_word t idx;
-  let rng = Random.State.make [| 5 |] in
+  let rng = Seed.state 5 in
   for _ = 1 to 200 do
     let vals = Array.init 4 (fun _ -> Random.State.int rng 8) in
     let x = vals.(0) lor (vals.(1) lsl 3) lor (vals.(2) lsl 6) lor (vals.(3) lsl 9) in

@@ -187,12 +187,102 @@ let test_bench_writer_klut () =
       in
       Alcotest.(check bool) "lut line present" true (contains "LUT 0xe8"))
 
+(* -- round-trip properties: write -> read -> CEC-equal, on random
+   networks with shrinkable parameters -- *)
+
+module G = Gen.Make (Aig)
+module Cec_ak = Algo.Cec.Make (Aig) (Klut)
+
+let random_aig (seed, num_gates) =
+  G.generate ~seed ~num_pis:5 ~num_gates ~num_pos:3 ()
+
+let with_temp_file ext f =
+  let path = Filename.temp_file "genlog" ext in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let prop_aiger_roundtrip =
+  QCheck.Test.make ~name:"aiger roundtrip equivalent" ~count:15
+    (Gen.arb_params ())
+    (fun params ->
+      let t = random_aig params in
+      let t' = roundtrip_aiger t in
+      Cec_aa.check t t' = Algo.Cec.Equivalent)
+
+let prop_blif_roundtrip =
+  QCheck.Test.make ~name:"blif roundtrip equivalent" ~count:15
+    (Gen.arb_params ())
+    (fun params ->
+      let t = random_aig params in
+      let module L = Algo.Lutmap.Make (Aig) in
+      let k = (L.map t ~k:4 ()).L.klut in
+      with_temp_file ".blif" (fun path ->
+          Lsio.Blif.write_file k path;
+          Cec_kk.check k (Lsio.Blif.read_file path) = Algo.Cec.Equivalent))
+
+let prop_bench_roundtrip =
+  (* the BENCH writer is generic; the reader targets k-LUT networks, so
+     the oracle is a cross-representation CEC *)
+  QCheck.Test.make ~name:"bench roundtrip equivalent" ~count:15
+    (Gen.arb_params ())
+    (fun params ->
+      let t = random_aig params in
+      let module W = Lsio.Bench.Make (Aig) in
+      with_temp_file ".bench" (fun path ->
+          W.write_file t path;
+          Cec_ak.check t (Lsio.Bench.read_file path) = Algo.Cec.Equivalent))
+
+let prop_bench_roundtrip_klut =
+  (* LUT lines (hex tables) survive the roundtrip *)
+  QCheck.Test.make ~name:"bench roundtrip klut equivalent" ~count:15
+    (Gen.arb_params ())
+    (fun params ->
+      let t = random_aig params in
+      let module L = Algo.Lutmap.Make (Aig) in
+      let k = (L.map t ~k:4 ()).L.klut in
+      let module W = Lsio.Bench.Make (Klut) in
+      with_temp_file ".bench" (fun path ->
+          W.write_file k path;
+          Cec_kk.check k (Lsio.Bench.read_file path) = Algo.Cec.Equivalent))
+
+let test_bench_reader_mig () =
+  (* MAJ gates expand to AND/OR in the writer; the reader must still see
+     an equivalent function *)
+  let module R = Gen.Make (Mig) in
+  let module W = Lsio.Bench.Make (Mig) in
+  let module C = Algo.Cec.Make (Mig) (Klut) in
+  let t =
+    R.generate ~use_maj:true ~seed:(Seed.get 33) ~num_pis:5 ~num_gates:40
+      ~num_pos:3 ()
+  in
+  with_temp_file ".bench" (fun path ->
+      W.write_file t path;
+      match C.check t (Lsio.Bench.read_file path) with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
+        Alcotest.fail "mig bench roundtrip not equivalent")
+
+let test_bench_reader_rejects_garbage () =
+  with_temp_file ".bench" (fun path ->
+      let oc = open_out path in
+      output_string oc "x = FROB(a, b)\n";
+      close_out oc;
+      match Lsio.Bench.read_file path with
+      | exception Lsio.Bench.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected parse error")
+
 let extra_suite =
   [
     Alcotest.test_case "blif complemented po" `Quick test_blif_complemented_po;
     Alcotest.test_case "blif constant po" `Quick test_blif_constant_po;
     Alcotest.test_case "aiger all benchmarks" `Slow test_aiger_all_benchmarks;
     Alcotest.test_case "bench writer klut" `Quick test_bench_writer_klut;
+    QCheck_alcotest.to_alcotest prop_aiger_roundtrip;
+    QCheck_alcotest.to_alcotest prop_blif_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bench_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bench_roundtrip_klut;
+    Alcotest.test_case "bench reader mig" `Quick test_bench_reader_mig;
+    Alcotest.test_case "bench reader parse error" `Quick
+      test_bench_reader_rejects_garbage;
   ]
 
 let suite = suite @ extra_suite

@@ -191,35 +191,7 @@ let suite =
 
 (* -- additional coverage: XMG, n-ary builders, conversions, Build -- *)
 
-(* local deterministic random network builder (mirrors Test_algo's) *)
-module Random_net (N : Intf.NETWORK) = struct
-  let generate ~seed ~num_pis ~num_gates ~num_pos =
-    let rng = Random.State.make [| seed |] in
-    let t = N.create () in
-    let signals = ref [] in
-    for _ = 1 to num_pis do
-      signals := N.create_pi t :: !signals
-    done;
-    let pick () =
-      let l = !signals in
-      let s = List.nth l (Random.State.int rng (List.length l)) in
-      N.complement_if (Random.State.bool rng) s
-    in
-    for _ = 1 to num_gates do
-      let s =
-        match Random.State.int rng (if N.max_fanin >= 3 then 4 else 3) with
-        | 0 -> N.create_and t (pick ()) (pick ())
-        | 1 -> N.create_or t (pick ()) (pick ())
-        | 2 -> N.create_xor t (pick ()) (pick ())
-        | _ -> N.create_maj t (pick ()) (pick ()) (pick ())
-      in
-      signals := s :: !signals
-    done;
-    for _ = 1 to num_pos do
-      N.create_po t (pick ())
-    done;
-    t
-end
+(* random networks come from the shared test/gen.ml generator *)
 
 let test_xmg_basics () =
   let t = Xmg.create () in
@@ -298,8 +270,8 @@ let test_take_out_if_dead () =
   Alcotest.(check int) "still there" 1 (Aig.num_gates t)
 
 let test_conversion_roundtrips () =
-  let module R = Random_net (Aig) in
-  let t = R.generate ~seed:77 ~num_pis:5 ~num_gates:40 ~num_pos:3 in
+  let module R = Gen.Make (Aig) in
+  let t = R.generate ~seed:(Seed.get 77) ~num_pis:5 ~num_gates:40 ~num_pos:3 () in
   let module C = Algo.Cec.Make (Aig) (Aig) in
   let check name back =
     match C.check t back with
@@ -324,7 +296,7 @@ let test_build_of_tt () =
   (* Build.of_tt realizes arbitrary truth tables through the generic
      constructors; verify by exhaustive simulation in several reps *)
   let open Kitty in
-  let rng = Random.State.make [| 23 |] in
+  let rng = Seed.state 23 in
   for _ = 1 to 25 do
     let v = Random.State.int rng 65536 in
     let f = Tt.of_int64 4 (Int64.of_int v) in
@@ -353,8 +325,11 @@ let test_pi_index () =
     pis
 
 let test_integrity_on_random () =
-  let module R = Random_net (Mig) in
-  let t = R.generate ~seed:5 ~num_pis:6 ~num_gates:80 ~num_pos:5 in
+  let module R = Gen.Make (Mig) in
+  let t =
+    R.generate ~use_maj:true ~seed:(Seed.get 5) ~num_pis:6 ~num_gates:80
+      ~num_pos:5 ()
+  in
   Alcotest.(check (list string)) "mig integrity" [] (Mig.check_integrity t)
 
 let extra_suite =
