@@ -105,6 +105,16 @@ let jobs_arg =
         ~doc:"Worker domains for $(b,--partition) (default: the runtime's \
               recommended domain count).")
 
+let sat_jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "sat-jobs" ] ~docv:"N"
+        ~doc:"Race $(docv) diversified SAT solver configurations in parallel \
+              in SAT-heavy passes (fraig escalation, exact synthesis); the \
+              first answer wins and cancels the rest. 1 disables the \
+              portfolio.")
+
 (* One code path for all four representations: run the whole-network script
    engine, or the partition-parallel engine when a partition size is set.
    The exact-synthesis database is domain-safe, so a single [env] is shared
@@ -136,7 +146,8 @@ let opt_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
   in
-  let run file rep script output trace_file stats sample partition jobs =
+  let run file rep script output trace_file stats sample partition jobs
+      sat_jobs =
     let t = read_aig file in
     Printf.eprintf "baseline: %s\n%!" (stats_of_aig t);
     let rep_name =
@@ -151,7 +162,7 @@ let opt_cmd =
       match rep with
       | `Aig ->
         let r =
-          optimize_network (module Aig) (Genlog.Flow.aig_env ()) ~script
+          optimize_network (module Aig) (Genlog.Flow.aig_env ~sat_jobs ()) ~script
             ~trace ~partition ~jobs t
         in
         Printf.eprintf "aig: gates = %d depth = %d\n%!" (Aig.num_gates r) (D.depth r);
@@ -161,7 +172,7 @@ let opt_cmd =
         let module Cb = Genlog.Convert.Make (Genlog.Mig) (Aig) in
         let module Dm = Genlog.Depth.Make (Genlog.Mig) in
         let r =
-          optimize_network (module Genlog.Mig) (Genlog.Flow.mig_env ())
+          optimize_network (module Genlog.Mig) (Genlog.Flow.mig_env ~sat_jobs ())
             ~script ~trace ~partition ~jobs (C.convert t)
         in
         Printf.eprintf "mig: gates = %d depth = %d (written back as AIG)\n%!"
@@ -172,7 +183,7 @@ let opt_cmd =
         let module Cb = Genlog.Convert.Make (Genlog.Xag) (Aig) in
         let module Dx = Genlog.Depth.Make (Genlog.Xag) in
         let r =
-          optimize_network (module Genlog.Xag) (Genlog.Flow.xag_env ())
+          optimize_network (module Genlog.Xag) (Genlog.Flow.xag_env ~sat_jobs ())
             ~script ~trace ~partition ~jobs (C.convert t)
         in
         Printf.eprintf "xag: gates = %d depth = %d (written back as AIG)\n%!"
@@ -183,7 +194,7 @@ let opt_cmd =
         let module Cb = Genlog.Convert.Make (Genlog.Xmg) (Aig) in
         let module Dx = Genlog.Depth.Make (Genlog.Xmg) in
         let r =
-          optimize_network (module Genlog.Xmg) (Genlog.Flow.xmg_env ())
+          optimize_network (module Genlog.Xmg) (Genlog.Flow.xmg_env ~sat_jobs ())
             ~script ~trace ~partition ~jobs (C.convert t)
         in
         Printf.eprintf "xmg: gates = %d depth = %d (written back as AIG)\n%!"
@@ -202,7 +213,7 @@ let opt_cmd =
   Cmd.v
     (Cmd.info "opt" ~doc:"Optimize with the generic resynthesis flow")
     Term.(const run $ file $ representation $ script_arg $ output $ trace_arg
-          $ stats_flag $ sample_arg $ partition_arg $ jobs_arg)
+          $ stats_flag $ sample_arg $ partition_arg $ jobs_arg $ sat_jobs_arg)
 
 (* -- map -- *)
 
@@ -229,10 +240,25 @@ let map_cmd =
 let cec_cmd =
   let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A") in
   let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B") in
-  let run file_a file_b =
+  let budget =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "budget" ] ~docv:"CONFLICTS"
+          ~doc:"Single-attempt conflict budget. 0 (the default) climbs the \
+                escalating budget ladder and reports UNKNOWN when the \
+                instance stays open; -1 solves without any budget.")
+  in
+  let run file_a file_b budget sat_jobs =
     let a = read_aig file_a and b = read_aig file_b in
     let module C = Genlog.Cec.Make (Aig) (Aig) in
-    match C.check a b with
+    let result, report =
+      if budget < 0 then C.check_full ~ladder:[] ~jobs:sat_jobs a b
+      else C.check_full ~conflict_budget:budget ~jobs:sat_jobs a b
+    in
+    Printf.eprintf "cec: winner = %s, conflicts = %d, rungs = %d\n%!"
+      report.C.winner report.C.conflicts report.C.rungs_used;
+    match result with
     | Genlog.Cec.Equivalent ->
       print_endline "EQUIVALENT";
       exit 0
@@ -246,7 +272,7 @@ let cec_cmd =
       exit 2
   in
   Cmd.v (Cmd.info "cec" ~doc:"SAT combinational equivalence check")
-    Term.(const run $ file_a $ file_b)
+    Term.(const run $ file_a $ file_b $ budget $ sat_jobs_arg)
 
 (* -- exact -- *)
 
@@ -258,7 +284,7 @@ let exact_cmd =
       & opt (enum [ ("aig", `Aig); ("xag", `Xag); ("mig", `Mig); ("xmg", `Xmg) ]) `Xag
       & info [ "r"; "representation" ] ~docv:"REP")
   in
-  let run hex rep =
+  let run hex rep sat_jobs =
     (* infer the variable count from the hex length: 2^n bits = 4*len *)
     let bits = 4 * String.length hex in
     let n =
@@ -273,6 +299,7 @@ let exact_cmd =
       | `Mig -> Genlog.Exact_synth.mig_config
       | `Xmg -> Genlog.Exact_synth.xmg_config
     in
+    let config = { config with Genlog.Exact_synth.sat_jobs } in
     match Genlog.Exact_synth.synthesize config f with
     | Genlog.Exact_synth.Const b -> Printf.printf "constant %d\n" (if b then 1 else 0)
     | Genlog.Exact_synth.Projection (v, c) ->
@@ -287,7 +314,7 @@ let exact_cmd =
   Cmd.v
     (Cmd.info "exact"
        ~doc:"SAT-exact synthesis of a function given as a hex truth table")
-    Term.(const run $ hex $ rep)
+    Term.(const run $ hex $ rep $ sat_jobs_arg)
 
 (* -- report -- *)
 

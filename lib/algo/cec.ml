@@ -88,41 +88,117 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
           ~negated:(N.is_complemented s))
       (N.pos net)
 
-  (* SAT equivalence check. *)
-  let check ?(conflict_budget = 0) (a : A.t) (b : B.t) : result =
-    if A.num_pis a <> B.num_pis b || A.num_pos a <> B.num_pos b then
-      Counterexample [||]
+  (* Build the miter into [solver]: shared PIs, both networks, per-output
+     difference variables, OR-of-diffs.  Returns the shared PI variables
+     (the counterexample decoder). *)
+  let encode_miter (a : A.t) (b : B.t) solver : int array =
+    let const_var = Satkit.Solver.new_var solver in
+    Satkit.Solver.add_clause solver [ Satkit.Lit.of_var const_var ~negated:true ];
+    let pi_vars =
+      Array.init (A.num_pis a) (fun _ -> Satkit.Solver.new_var solver)
+    in
+    let pos_a = encode (module A) a solver pi_vars const_var in
+    let pos_b = encode (module B) b solver pi_vars const_var in
+    (* diff_i <-> (pa_i xor pb_i); assert OR diff_i *)
+    let diffs =
+      Array.map2
+        (fun la lb ->
+          let d = Satkit.Solver.new_var solver in
+          let dp = Satkit.Lit.of_var d ~negated:false in
+          let dn = Satkit.Lit.of_var d ~negated:true in
+          let na = Satkit.Lit.neg la and nb = Satkit.Lit.neg lb in
+          Satkit.Solver.add_clause solver [ dn; la; lb ];
+          Satkit.Solver.add_clause solver [ dn; na; nb ];
+          Satkit.Solver.add_clause solver [ dp; la; nb ];
+          Satkit.Solver.add_clause solver [ dp; na; lb ];
+          dp)
+        pos_a pos_b
+    in
+    Satkit.Solver.add_clause solver (Array.to_list diffs);
+    pi_vars
+
+  (* Budget ladder: escalating per-attempt conflict budgets, so cheap
+     instances answer fast and hard ones give up with [Unknown] instead of
+     hanging (the fuzz oracle and partition guards depend on this). *)
+  let default_ladder = [ 10_000; 100_000; 1_000_000 ]
+
+  type report = {
+    winner : string;      (* config name that produced the answer *)
+    conflicts : int;      (* conflicts spent by the answering solver *)
+    rungs_used : int;     (* ladder rungs consumed (1 = first try) *)
+  }
+
+  (* SAT equivalence check.
+
+     Budgets: [conflict_budget] > 0 keeps the historic single-attempt
+     semantics.  Otherwise [ladder] applies — escalating attempts, then
+     [Unknown]; [~ladder:[]] requests a single unbounded solve.
+
+     [jobs] > 1 races a diversified portfolio (total ladder budget per
+     worker) instead of climbing the ladder sequentially; [config] selects
+     the kernel for single-job solving (default: {!Satkit.Solver.env_config},
+     i.e. the GENLOG_SAT_KERNEL toggle). *)
+  let check_full ?(conflict_budget = 0) ?ladder ?(jobs = 1) ?config (a : A.t)
+      (b : B.t) : result * report =
+    let mismatch = A.num_pis a <> B.num_pis b || A.num_pos a <> B.num_pos b in
+    if mismatch then
+      (Counterexample [||], { winner = "shape"; conflicts = 0; rungs_used = 0 })
     else begin
-      let solver = Satkit.Solver.create () in
-      let const_var = Satkit.Solver.new_var solver in
-      Satkit.Solver.add_clause solver
-        [ Satkit.Lit.of_var const_var ~negated:true ];
-      let pi_vars =
-        Array.init (A.num_pis a) (fun _ -> Satkit.Solver.new_var solver)
+      let config =
+        match config with Some c -> c | None -> Satkit.Solver.env_config ()
       in
-      let pos_a = encode (module A) a solver pi_vars const_var in
-      let pos_b = encode (module B) b solver pi_vars const_var in
-      (* diff_i <-> (pa_i xor pb_i); assert OR diff_i *)
-      let diffs =
-        Array.map2
-          (fun la lb ->
-            let d = Satkit.Solver.new_var solver in
-            let dp = Satkit.Lit.of_var d ~negated:false in
-            let dn = Satkit.Lit.of_var d ~negated:true in
-            let na = Satkit.Lit.neg la and nb = Satkit.Lit.neg lb in
-            Satkit.Solver.add_clause solver [ dn; la; lb ];
-            Satkit.Solver.add_clause solver [ dn; na; nb ];
-            Satkit.Solver.add_clause solver [ dp; la; nb ];
-            Satkit.Solver.add_clause solver [ dp; na; lb ];
-            dp)
-          pos_a pos_b
+      let rungs =
+        if conflict_budget > 0 then [ conflict_budget ]
+        else match ladder with Some l -> l | None -> default_ladder
       in
-      Satkit.Solver.add_clause solver (Array.to_list diffs);
-      match Satkit.Solver.solve ~conflict_budget solver with
-      | Satkit.Solver.Unsat -> Equivalent
-      | Satkit.Solver.Unknown -> Unknown
-      | Satkit.Solver.Sat ->
-        Counterexample
-          (Array.map (fun v -> Satkit.Solver.model_value solver v) pi_vars)
+      let decode solver pi_vars = function
+        | Satkit.Solver.Unsat -> Equivalent
+        | Satkit.Solver.Unknown -> Unknown
+        | Satkit.Solver.Sat ->
+          Counterexample
+            (Array.map (fun v -> Satkit.Solver.model_value solver v) pi_vars)
+      in
+      if jobs <= 1 then begin
+        let solver = Satkit.Solver.create ~config () in
+        let pi_vars = encode_miter a b solver in
+        let rec climb used = function
+          | [] ->
+            (* an empty ladder means one unbounded attempt *)
+            if used = 0 then
+              (decode solver pi_vars (Satkit.Solver.solve solver), used + 1)
+            else (Unknown, used)
+          | budget :: rest -> (
+            match Satkit.Solver.solve ~conflict_budget:budget solver with
+            | Satkit.Solver.Unknown -> climb (used + 1) rest
+            | r -> (decode solver pi_vars r, used + 1))
+        in
+        let r, used = climb 0 rungs in
+        ( r,
+          {
+            winner = config.Satkit.Solver.name;
+            conflicts = Satkit.Solver.num_conflicts solver;
+            rungs_used = used;
+          } )
+      end
+      else begin
+        (* portfolio race: each worker gets the whole ladder as one budget *)
+        let total = List.fold_left ( + ) 0 rungs in
+        let o =
+          Satkit.Portfolio.solve ~jobs ~conflict_budget:total
+            ~build:(fun s -> encode_miter a b s)
+            ()
+        in
+        ( decode o.Satkit.Portfolio.solver o.Satkit.Portfolio.payload
+            o.Satkit.Portfolio.result,
+          {
+            winner = o.Satkit.Portfolio.winner;
+            conflicts = Satkit.Solver.num_conflicts o.Satkit.Portfolio.solver;
+            rungs_used = 1;
+          } )
+      end
     end
+
+  let check ?conflict_budget ?ladder ?jobs ?config (a : A.t) (b : B.t) : result
+      =
+    fst (check_full ?conflict_budget ?ladder ?jobs ?config a b)
 end

@@ -20,11 +20,14 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
     mutable proved : int;       (* merges applied *)
     mutable refuted : int;      (* SAT counterexamples *)
     mutable unknown : int;      (* conflict budget exhausted *)
+    mutable escalated : int;    (* pairs retried on the portfolio *)
   }
 
   let run (net : N.t) ?(trace = Obs.Trace.null) ?(num_vars = 8) ?(seed = 1)
-      ?(conflict_budget = 2_000) () : stats =
-    let stats = { classes = 0; proved = 0; refuted = 0; unknown = 0 } in
+      ?(conflict_budget = 2_000) ?(sat_jobs = 1) () : stats =
+    let stats =
+      { classes = 0; proved = 0; refuted = 0; unknown = 0; escalated = 0 }
+    in
     let sampling = Obs.Trace.sampling trace in
     let metrics = Obs.Metrics.of_trace trace ~algo:"fraig" in
     let h_class = Obs.Metrics.histogram metrics "class_size" in
@@ -57,7 +60,7 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
     N.foreach_pi net add;
     List.iter add (T.order net);
     (* 3. prove candidate pairs on a static CNF of the whole network *)
-    let solver = Satkit.Solver.create () in
+    let solver = Satkit.Solver.create ~config:(Satkit.Solver.env_config ()) () in
     let const_var = Satkit.Solver.new_var solver in
     Satkit.Solver.add_clause solver [ Satkit.Lit.of_var const_var ~negated:true ];
     let pi_vars =
@@ -97,6 +100,38 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
               in
               if Obs.Metrics.enabled metrics then
                 Obs.Metrics.observe_time h_sat (Unix.gettimeofday () -. t0);
+              (* a budget-exhausted pair is worth a second opinion: race the
+                 portfolio on a fresh single-pair miter with a larger budget
+                 before giving up on the merge *)
+              let verdict =
+                if verdict = Satkit.Solver.Unknown && sat_jobs > 1 then begin
+                  stats.escalated <- stats.escalated + 1;
+                  let o =
+                    Satkit.Portfolio.solve ~jobs:sat_jobs
+                      ~conflict_budget:(20 * conflict_budget)
+                      ~build:(fun s ->
+                        let cv = Satkit.Solver.new_var s in
+                        Satkit.Solver.add_clause s
+                          [ Satkit.Lit.of_var cv ~negated:true ];
+                        let pis =
+                          Array.init (N.num_pis net) (fun _ ->
+                              Satkit.Solver.new_var s)
+                        in
+                        let nv = C.encode_nodes (module N) net s pis cv in
+                        let lr = Satkit.Lit.of_var nv.(rep) ~negated:false in
+                        let lm =
+                          Satkit.Lit.of_var nv.(m) ~negated:flip
+                        in
+                        (* assert lr <> lm: SAT refutes, UNSAT proves *)
+                        Satkit.Solver.add_clause s [ lr; lm ];
+                        Satkit.Solver.add_clause s
+                          [ Satkit.Lit.neg lr; Satkit.Lit.neg lm ])
+                      ()
+                  in
+                  o.Satkit.Portfolio.result
+                end
+                else verdict
+              in
               (match verdict with
               | Satkit.Solver.Unsat ->
                 stats.proved <- stats.proved + 1;
@@ -126,12 +161,20 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
           N.substitute_node net m
             (N.complement_if flip (N.signal_of_node rep)))
       (List.rev !merges);
+    (* export the shared solver's kernel counters (conflicts, clause tiers,
+       minimization/inprocessing work) through the metrics registry *)
+    if Obs.Metrics.enabled metrics then
+      List.iter
+        (fun (k, v) ->
+          Obs.Metrics.set (Obs.Metrics.gauge metrics ("solver_" ^ k)) v)
+        (Satkit.Solver.stats solver);
     Obs.Trace.report trace ~algo:"fraig"
       [
         ("classes", stats.classes);
         ("proved", stats.proved);
         ("refuted", stats.refuted);
         ("unknown", stats.unknown);
+        ("escalated", stats.escalated);
       ];
     Obs.Metrics.emit metrics trace;
     stats

@@ -32,6 +32,7 @@ type config = {
   max_gates : int;
   conflict_budget : int;    (* per SAT call; 0 = unlimited *)
   strategy : strategy;
+  sat_jobs : int;           (* > 1 races a diversified solver portfolio *)
 }
 
 (* AND with optionally complemented inputs / output covers AND, OR and the
@@ -55,19 +56,23 @@ let xor3 = Tt.(nth_var 3 0 ^: nth_var 3 1 ^: nth_var 3 2)
 
 let aig_config =
   { arity = 2; allowed_ops = and_family; allow_constant = false;
-    max_gates = 10; conflict_budget = 10_000; strategy = Incremental }
+    max_gates = 10; conflict_budget = 10_000; strategy = Incremental;
+    sat_jobs = 1 }
 
 let xag_config =
   { arity = 2; allowed_ops = xor2 :: and_family; allow_constant = false;
-    max_gates = 10; conflict_budget = 10_000; strategy = Incremental }
+    max_gates = 10; conflict_budget = 10_000; strategy = Incremental;
+    sat_jobs = 1 }
 
 let mig_config =
   { arity = 3; allowed_ops = maj_family; allow_constant = true;
-    max_gates = 7; conflict_budget = 10_000; strategy = Incremental }
+    max_gates = 7; conflict_budget = 10_000; strategy = Incremental;
+    sat_jobs = 1 }
 
 let xmg_config =
   { arity = 3; allowed_ops = xor3 :: maj_family; allow_constant = true;
-    max_gates = 7; conflict_budget = 10_000; strategy = Incremental }
+    max_gates = 7; conflict_budget = 10_000; strategy = Incremental;
+    sat_jobs = 1 }
 
 type result =
   | Const of bool
@@ -96,18 +101,6 @@ let synthesize_fixed_size ?fence config f r =
   let num_minterms = (1 lsl n) - 1 in
   let k = config.arity in
   let num_op_bits = (1 lsl k) - 1 in
-  let s = Satkit.Solver.create () in
-  let fresh =
-    let counter = ref (-1) in
-    fun () ->
-      incr counter;
-      ignore (Satkit.Solver.new_var s);
-      !counter
-  in
-  (* simulation vars: x.(i).(t-1) *)
-  let x = Array.init r (fun _ -> Array.init num_minterms (fun _ -> fresh ())) in
-  (* operator vars: o.(i).(p-1) *)
-  let o = Array.init r (fun _ -> Array.init num_op_bits (fun _ -> fresh ())) in
   (* candidates, as chain signal indices: 0 = const, 1..n inputs, n+1+i gates *)
   let level_of_gate g = match fence with Some lv -> lv.(g) | None -> -1 in
   let candidates_for i =
@@ -137,9 +130,24 @@ let synthesize_fixed_size ?fence config f r =
           (List.filter (combo_allowed i)
              (combinations k (candidates_for i))))
   in
-  let sel = Array.init r (fun i -> Array.map (fun _ -> fresh ()) combos.(i)) in
   let pos v = Satkit.Lit.of_var v ~negated:false in
   let neg v = Satkit.Lit.of_var v ~negated:true in
+  (* Encode the whole instance into [s]; returns the variable layout needed
+     to decode a model.  Run once per solver, so a portfolio can build the
+     same instance in every worker. *)
+  let build s =
+  let fresh =
+    let counter = ref (-1) in
+    fun () ->
+      incr counter;
+      ignore (Satkit.Solver.new_var s);
+      !counter
+  in
+  (* simulation vars: x.(i).(t-1) *)
+  let x = Array.init r (fun _ -> Array.init num_minterms (fun _ -> fresh ())) in
+  (* operator vars: o.(i).(p-1) *)
+  let o = Array.init r (fun _ -> Array.init num_op_bits (fun _ -> fresh ())) in
+  let sel = Array.init r (fun i -> Array.map (fun _ -> fresh ()) combos.(i)) in
   (* exactly-one selection per gate *)
   for i = 0 to r - 1 do
     Satkit.Solver.add_clause s (Array.to_list (Array.map pos sel.(i)));
@@ -224,27 +232,44 @@ let synthesize_fixed_size ?fence config f r =
     let l = if Tt.get_bit f t = 1 then pos x.(r - 1).(t - 1) else neg x.(r - 1).(t - 1) in
     Satkit.Solver.add_clause s [ l ]
   done;
-  match Satkit.Solver.solve ~conflict_budget:config.conflict_budget s with
-  | Satkit.Solver.Unsat -> `Unsat
-  | Satkit.Solver.Unknown -> `Unknown
-  | Satkit.Solver.Sat ->
-    let steps =
-      Array.init r (fun i ->
-          let ci =
-            let rec find j =
-              if j >= Array.length sel.(i) then assert false
-              else if Satkit.Solver.model_value s sel.(i).(j) then j
-              else find (j + 1)
-            in
-            find 0
+  (o, sel)
+  in
+  let decode s (o, sel) =
+    Array.init r (fun i ->
+        let ci =
+          let rec find j =
+            if j >= Array.length sel.(i) then assert false
+            else if Satkit.Solver.model_value s sel.(i).(j) then j
+            else find (j + 1)
           in
-          let op = Tt.create k in
-          for b = 1 to num_op_bits do
-            if Satkit.Solver.model_value s o.(i).(b - 1) then Tt.set_bit op b
-          done;
-          { Chain.fanins = Array.copy combos.(i).(ci); op })
+          find 0
+        in
+        let op = Tt.create k in
+        for b = 1 to num_op_bits do
+          if Satkit.Solver.model_value s o.(i).(b - 1) then Tt.set_bit op b
+        done;
+        { Chain.fanins = Array.copy combos.(i).(ci); op })
+  in
+  if config.sat_jobs <= 1 then begin
+    let s = Satkit.Solver.create ~config:(Satkit.Solver.env_config ()) () in
+    let layout = build s in
+    match Satkit.Solver.solve ~conflict_budget:config.conflict_budget s with
+    | Satkit.Solver.Unsat -> `Unsat
+    | Satkit.Solver.Unknown -> `Unknown
+    | Satkit.Solver.Sat -> `Sat (decode s layout)
+  end
+  else begin
+    (* diversified portfolio race over the same encoding *)
+    let out =
+      Satkit.Portfolio.solve ~jobs:config.sat_jobs
+        ~conflict_budget:config.conflict_budget ~build ()
     in
-    `Sat steps
+    match out.Satkit.Portfolio.result with
+    | Satkit.Solver.Unsat -> `Unsat
+    | Satkit.Solver.Unknown -> `Unknown
+    | Satkit.Solver.Sat ->
+      `Sat (decode out.Satkit.Portfolio.solver out.Satkit.Portfolio.payload)
+  end
 
 (* All fences with [r] gates: compositions of r into levels (each level
    non-empty), returned as per-gate level arrays, fewest levels first. *)

@@ -8,35 +8,40 @@ type env = {
   db : Exact.Database.t;
   kernel : Algo.Resub.kernel;
   max_refactor_inputs : int;
+  sat_jobs : int;  (* > 1 races a solver portfolio in SAT-heavy passes *)
 }
 
 (* Per-representation presets. *)
-let aig_env () =
+let aig_env ?(sat_jobs = 1) () =
   {
-    db = Exact.Database.create Exact.Synth.aig_config;
+    db = Exact.Database.create { Exact.Synth.aig_config with sat_jobs };
     kernel = Algo.Resub.And_or;
     max_refactor_inputs = 10;
+    sat_jobs;
   }
 
-let xag_env () =
+let xag_env ?(sat_jobs = 1) () =
   {
-    db = Exact.Database.create Exact.Synth.xag_config;
+    db = Exact.Database.create { Exact.Synth.xag_config with sat_jobs };
     kernel = Algo.Resub.And_or_xor;
     max_refactor_inputs = 10;
+    sat_jobs;
   }
 
-let mig_env () =
+let mig_env ?(sat_jobs = 1) () =
   {
-    db = Exact.Database.create Exact.Synth.mig_config;
+    db = Exact.Database.create { Exact.Synth.mig_config with sat_jobs };
     kernel = Algo.Resub.Maj3;
     max_refactor_inputs = 10;
+    sat_jobs;
   }
 
-let xmg_env () =
+let xmg_env ?(sat_jobs = 1) () =
   {
-    db = Exact.Database.create Exact.Synth.xmg_config;
+    db = Exact.Database.create { Exact.Synth.xmg_config with sat_jobs };
     kernel = Algo.Resub.Maj3;
     max_refactor_inputs = 10;
+    sat_jobs;
   }
 
 type stats = {
@@ -69,7 +74,7 @@ module Make (N : Network.Intf.NETWORK) = struct
       ignore
         (Rs.run net ~kernel:env.kernel ~trace ~max_leaves:cut_size
            ~max_inserted ())
-    | Script.Fraig -> ignore (Fr.run net ~trace ())
+    | Script.Fraig -> ignore (Fr.run net ~trace ~sat_jobs:env.sat_jobs ())
 
   (* Interpret one script command as a traced span: a [pass_begin] /
      [pass_end] pair bracketing the command, carrying gate count and depth

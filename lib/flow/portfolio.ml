@@ -89,7 +89,7 @@ module Job_aig =
     (Aig)
     (struct
       let representation = "aig"
-      let default_env = Engine.aig_env
+      let default_env () = Engine.aig_env ()
     end)
 
 module Job_mig =
@@ -97,7 +97,7 @@ module Job_mig =
     (Mig)
     (struct
       let representation = "mig"
-      let default_env = Engine.mig_env
+      let default_env () = Engine.mig_env ()
     end)
 
 module Job_xag =
@@ -105,7 +105,7 @@ module Job_xag =
     (Xag)
     (struct
       let representation = "xag"
-      let default_env = Engine.xag_env
+      let default_env () = Engine.xag_env ()
     end)
 
 module Job_xmg =
@@ -113,7 +113,7 @@ module Job_xmg =
     (Xmg)
     (struct
       let representation = "xmg"
-      let default_env = Engine.xmg_env
+      let default_env () = Engine.xmg_env ()
     end)
 
 let default_jobs : (module JOB) list =

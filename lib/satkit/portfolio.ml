@@ -1,0 +1,155 @@
+(* A parallel solver portfolio: run the same instance under N diversified
+   solver configurations (restart policy, polarity, random seed) across
+   OCaml 5 domains, first answer wins.
+
+   Each worker gets its own solver built by the caller-supplied [build]
+   closure, so CNF encoding happens per worker and no state is shared
+   between domains.  Losers are cancelled through the kernel's [?stop]
+   polling hook: the first decisive (non-[Unknown]) answer sets an atomic
+   flag every other worker polls during search.
+
+   satkit sits below the flow layer, so this spawns domains directly
+   rather than reusing [Flow.Parmap] (which would be a dependency cycle);
+   the pattern — worker 0 on the calling domain, results by slot, first
+   exception re-raised — matches Parmap's. *)
+
+type 'a outcome = {
+  result : Solver.result;
+  solver : Solver.t;       (* the winning solver; read models from here *)
+  payload : 'a;            (* [build]'s return value on the winning solver *)
+  winner : string;         (* config name of the winning worker *)
+  per_config : (string * Solver.result) list;
+      (* every worker's answer, [Unknown] for cancelled ones *)
+  stats : (string * (string * int) list) list;
+      (* per-config kernel counters, winner first *)
+}
+
+(* Diversified roster: distinct restart policies, polarities and seeds so
+   the workers explore different parts of the search space.  Index 0 is the
+   plain default configuration — with [jobs = 1] the portfolio degenerates
+   to a normal solve. *)
+let default_roster n =
+  let base = Solver.default_config in
+  let variants =
+    [|
+      base;
+      { base with name = "luby"; restart = Solver.Luby; seed = 7 };
+      { base with name = "neg"; polarity = Solver.Always_false; seed = 11 };
+      {
+        base with
+        name = "rand";
+        polarity = Solver.Random_init;
+        random_decision_freq = 0.02;
+        seed = 13;
+      };
+      { base with name = "pos"; polarity = Solver.Always_true; seed = 17 };
+      {
+        base with
+        name = "luby-rand";
+        restart = Solver.Luby;
+        polarity = Solver.Random_init;
+        random_decision_freq = 0.05;
+        seed = 19;
+      };
+    |]
+  in
+  List.init (max 1 n) (fun i ->
+      let v = variants.(i mod Array.length variants) in
+      if i < Array.length variants then v
+      else { v with name = Printf.sprintf "%s#%d" v.Solver.name i; seed = v.Solver.seed + (31 * i) })
+
+let solve_one ~config ~conflict_budget ~assumptions ~stop ~build =
+  let s = Solver.create ~config () in
+  let payload = build s in
+  let r = Solver.solve ~conflict_budget ~assumptions ?stop s in
+  (r, s, payload)
+
+let solve ?jobs ?configs ?(conflict_budget = 0) ?(assumptions = []) ~build () =
+  let configs =
+    match configs with
+    | Some (_ :: _ as cs) -> cs
+    | Some [] | None ->
+      default_roster
+        (match jobs with
+        | Some j -> max 1 j
+        | None -> 1)
+  in
+  let configs =
+    match jobs with
+    | Some j when j >= 1 ->
+      let rec take k = function
+        | [] -> []
+        | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+      in
+      let cs = take j configs in
+      if List.length cs < j then configs else cs
+    | _ -> configs
+  in
+  match configs with
+  | [] -> assert false
+  | [ config ] ->
+    (* single worker: plain solve, no domain spawn, no cancellation *)
+    let r, s, payload =
+      solve_one ~config ~conflict_budget ~assumptions ~stop:None ~build
+    in
+    {
+      result = r;
+      solver = s;
+      payload;
+      winner = config.Solver.name;
+      per_config = [ (config.Solver.name, r) ];
+      stats = [ (config.Solver.name, Solver.stats s) ];
+    }
+  | configs ->
+    let n = List.length configs in
+    let configs = Array.of_list configs in
+    let cancel = Atomic.make false in
+    let winner = Atomic.make (-1) in
+    let slots = Array.make n None in
+    let errors = Array.make n None in
+    let worker i () =
+      match
+        solve_one ~config:configs.(i) ~conflict_budget ~assumptions
+          ~stop:(Some (fun () -> Atomic.get cancel))
+          ~build
+      with
+      | (r, _, _) as res ->
+        slots.(i) <- Some res;
+        if r <> Solver.Unknown then begin
+          (* first decisive answer wins and cancels the rest *)
+          ignore (Atomic.compare_and_set winner (-1) i);
+          Atomic.set cancel true
+        end
+      | exception e -> errors.(i) <- Some e
+    in
+    let domains = List.init (n - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    let win =
+      match Atomic.get winner with
+      | -1 -> 0 (* everyone exhausted the budget or was stopped: Unknown *)
+      | i -> i
+    in
+    let r, s, payload =
+      match slots.(win) with Some v -> v | None -> assert false
+    in
+    let name_of i = configs.(i).Solver.name in
+    let per i =
+      match slots.(i) with Some (r, _, _) -> r | None -> Solver.Unknown
+    in
+    let order = win :: List.filter (fun i -> i <> win) (List.init n Fun.id) in
+    {
+      result = r;
+      solver = s;
+      payload;
+      winner = name_of win;
+      per_config = List.map (fun i -> (name_of i, per i)) order;
+      stats =
+        List.filter_map
+          (fun i ->
+            match slots.(i) with
+            | Some (_, s, _) -> Some (name_of i, Solver.stats s)
+            | None -> None)
+          order;
+    }

@@ -1,0 +1,37 @@
+(** Parallel solver portfolio: the same instance solved under N diversified
+    configurations (restart policy, polarity, seeds) across OCaml 5
+    domains, first decisive answer wins, losers cancelled through the
+    kernel's [?stop] hook.
+
+    The instance is rebuilt per worker by the [build] closure (solvers
+    share nothing across domains); [build]'s return value — typically the
+    variable map needed to decode a model — is handed back for the winning
+    solver. *)
+
+type 'a outcome = {
+  result : Solver.result;
+  solver : Solver.t;  (** the winning solver; read models from here *)
+  payload : 'a;       (** [build]'s return value on the winning solver *)
+  winner : string;    (** config name of the winning worker *)
+  per_config : (string * Solver.result) list;
+      (** every worker's answer, [Unknown] for cancelled ones *)
+  stats : (string * (string * int) list) list;
+      (** per-config kernel counters, winner first *)
+}
+
+val default_roster : int -> Solver.config list
+(** [default_roster n] is [n] diversified configurations; index 0 is
+    {!Solver.default_config}. *)
+
+val solve :
+  ?jobs:int ->
+  ?configs:Solver.config list ->
+  ?conflict_budget:int ->
+  ?assumptions:Lit.t list ->
+  build:(Solver.t -> 'a) ->
+  unit ->
+  'a outcome
+(** Race [jobs] workers (default 1; [configs] overrides the roster and its
+    length wins over [jobs] when shorter).  With a single worker this is a
+    plain in-domain solve with no cancellation overhead.  [conflict_budget]
+    and [assumptions] apply to every worker. *)

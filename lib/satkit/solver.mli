@@ -1,10 +1,15 @@
-(** A CDCL SAT solver in the MiniSat tradition.
+(** A CDCL SAT solver in the MiniSat/Glucose tradition.
 
-    Features: two-watched-literal propagation, first-UIP clause learning,
-    VSIDS branching with phase saving, Luby restarts, activity-based
-    deletion of learnt clauses, incremental solving under assumptions
-    (with a root-level floor so backtracking never unassigns assumptions)
-    and per-call conflict budgets.
+    On top of classic CDCL (two-watched-literal propagation with blocker
+    literals, first-UIP clause learning, VSIDS branching with phase saving,
+    incremental solving under assumptions, per-call conflict budgets) the
+    kernel implements LBD-based tiered clause deletion (core/tier2/local),
+    glucose-style EMA restarts with stabilization phases, learnt-clause
+    minimization by self-subsuming resolution, and periodic inprocessing
+    (level-0 simplification, learnt-clause subsumption, vivification).
+
+    Behaviour is parameterized by a {!config} so a portfolio can run
+    diversified instances (see {!Portfolio}).
 
     Used by SAT-based exact synthesis (paper §2.2.2), combinational
     equivalence checking and SAT sweeping. *)
@@ -13,7 +18,55 @@ type t
 
 type result = Sat | Unsat | Unknown
 
-val create : unit -> t
+(** {1 Configuration} *)
+
+type restart_policy = Luby | Ema
+
+type polarity_mode =
+  | Phase_saved    (** saved phase, initially false (MiniSat default) *)
+  | Always_true    (** always branch positive *)
+  | Always_false   (** always branch negative *)
+  | Random_init    (** saved phase, randomly initialized per variable *)
+
+type reduce_strategy =
+  | Tiered         (** lbd-driven core/tier2/local clause database *)
+  | Activity_half  (** MiniSat-style: drop the lower-activity half *)
+
+type config = {
+  name : string;
+  restart : restart_policy;
+  polarity : polarity_mode;
+  seed : int;
+  random_decision_freq : float;
+      (** probability of picking a random branching variable *)
+  var_decay : float;
+  clause_decay : float;
+  minimize : bool;     (** learnt-clause minimization *)
+  inprocess : bool;    (** subsumption + vivification between restarts *)
+  blockers : bool;     (** blocker-literal fast path in propagation *)
+  reduce : reduce_strategy;
+  reduce_interval : int;
+      (** conflicts between learnt-clause-database reductions *)
+  inprocess_interval : int;  (** conflicts between inprocessing rounds *)
+}
+
+val default_config : config
+(** The modern kernel: EMA restarts, minimization, inprocessing. *)
+
+val legacy_config : config
+(** Approximates the pre-modernization kernel (Luby restarts,
+    activity-sorted clause deletion, no minimization, no inprocessing) for
+    A/B benchmarking. *)
+
+val env_config : unit -> config
+(** [default_config], or [legacy_config] when the environment variable
+    [GENLOG_SAT_KERNEL] is set to ["legacy"]. *)
+
+(** {1 Solving} *)
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
 
 val new_var : t -> int
 (** Allocate the next variable; variables are dense integers from 0. *)
@@ -30,13 +83,21 @@ val add_clause : t -> Lit.t list -> unit
     (or a clause that simplifies away entirely) makes the instance
     unsatisfiable. *)
 
-val solve : ?conflict_budget:int -> ?assumptions:Lit.t list -> t -> result
+val solve :
+  ?conflict_budget:int ->
+  ?assumptions:Lit.t list ->
+  ?stop:(unit -> bool) ->
+  t ->
+  result
 (** Solve the current formula.
 
     - [assumptions] are temporarily asserted literals; [Unsat] then means
       "unsatisfiable under the assumptions".
     - [conflict_budget] > 0 bounds the search; exceeding it yields
       [Unknown] (never a wrong answer).
+    - [stop] is polled periodically during search; once it returns [true]
+      the solve gives up with [Unknown].  Used by the portfolio for
+      first-answer-wins cancellation.
 
     After [Sat], the model is available through {!model_value} until the
     next [solve] or [add_clause]. *)
@@ -44,5 +105,10 @@ val solve : ?conflict_budget:int -> ?assumptions:Lit.t list -> t -> result
 val model_value : t -> int -> bool
 (** Value of a variable in the model; meaningful only right after a [Sat]
     answer. *)
+
+val stats : t -> (string * int) list
+(** Solver counters (conflicts, propagations, restarts, clause tiers,
+    minimization/inprocessing totals) as label/value pairs, for metrics
+    export. *)
 
 val pp_stats : Format.formatter -> t -> unit

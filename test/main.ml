@@ -4,6 +4,7 @@ let () =
       ("kitty", Test_kitty.suite);
       ("network", Test_network.suite);
       ("satkit", Test_satkit.suite);
+      ("dimacs", Test_dimacs.suite);
       ("exact", Test_exact.suite);
       ("algo", Test_algo.suite);
       ("lsgen", Test_lsgen.suite);

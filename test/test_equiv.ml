@@ -74,7 +74,12 @@ let xmg_db = lazy (Exact.Database.create Exact.Synth.xmg_config)
    exact synthesis dominates the budget otherwise) *)
 let env_with db kernel =
   lazy
-    { Flow.Engine.db = Lazy.force db; kernel; max_refactor_inputs = 10 }
+    {
+      Flow.Engine.db = Lazy.force db;
+      kernel;
+      max_refactor_inputs = 10;
+      sat_jobs = 1;
+    }
 
 let aig_env = env_with aig_db Algo.Resub.And_or
 let xag_env = env_with xag_db Algo.Resub.And_or_xor
