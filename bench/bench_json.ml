@@ -27,11 +27,16 @@ let write name (rows : (string * value) list list) =
   let oc = open_out file in
   (* run metadata first: commit, compiler, domain count, schema — the
      fields [report --check] needs to compare two BENCH files honestly *)
+  let cache =
+    match Genlog.Runmeta.cache_json () with
+    | Some c -> Printf.sprintf "  \"cache\": %s,\n" c
+    | None -> ""
+  in
   Printf.fprintf oc
-    "{\n  \"bench\": \"%s\",\n  %s,\n  \"generated_unix\": %.0f,\n  \"rows\": [\n"
+    "{\n  \"bench\": \"%s\",\n  %s,\n%s  \"generated_unix\": %.0f,\n  \"rows\": [\n"
     (escape name)
     (Genlog.Runmeta.json_fields ())
-    (Unix.time ());
+    cache (Unix.time ());
   List.iteri
     (fun i row ->
       if i > 0 then output_string oc ",\n";

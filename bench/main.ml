@@ -271,6 +271,75 @@ let smoke () =
   Bench_json.write "smoke" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)
+(* Cache: the persistent exact-synthesis store, cold vs warm.  A cold    *)
+(* phase populates the store over the smoke suite; a warm phase reloads  *)
+(* it in a fresh database and must re-synthesize nothing (misses = 0);   *)
+(* a corrupt phase tears the store's tail off and must still load with   *)
+(* entries skipped, never fail.  The counters land in BENCH_cache.json   *)
+(* (aggregate rows benchmark="all") and CI gates on them.                *)
+(* -------------------------------------------------------------------- *)
+
+let cache_bench () =
+  print_endline "=== Cache: persistent exact-synthesis store, cold vs warm ===";
+  let store =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "genlog_bench_cache_%d.glxs" (Unix.getpid ()))
+  in
+  if Sys.file_exists store then Sys.remove store;
+  let module F = Flow.Make (Aig) in
+  let benchmarks = [ "ctrl"; "cavlc"; "int2float"; "dec"; "router" ] in
+  let rows = ref [] in
+  Printf.printf "%-10s | %8s %8s %8s %8s %8s %8s\n" "stage" "hits" "misses"
+    "classes" "loaded" "skipped" "time";
+  let phase stage =
+    let cfg = { Flow.Run_config.default with Flow.Run_config.cache = Some store } in
+    let env = Flow.env_of_config cfg in
+    let total = ref 0.0 in
+    List.iter
+      (fun name ->
+        let baseline = Suite.build name in
+        let opt, seconds =
+          time_it (fun () -> F.run_script env baseline Script.compress2rs)
+        in
+        total := !total +. seconds;
+        rows :=
+          row name stage
+            [ ("nodes", Bench_json.Int (Aig.num_gates opt));
+              ("levels", Bench_json.Int (D.depth opt));
+              ("seconds", Bench_json.Float seconds) ]
+          :: !rows)
+      benchmarks;
+    Database.flush env.Flow.db;
+    let db = env.Flow.db in
+    let si = Database.store_info db in
+    Printf.printf "%-10s | %8d %8d %8d %8d %8d %7.2fs\n%!" stage
+      (Database.hits db) (Database.misses db) (Database.size db)
+      si.Database.loaded si.Database.skipped !total;
+    rows :=
+      row "all" stage
+        [ ("hits", Bench_json.Int (Database.hits db));
+          ("misses", Bench_json.Int (Database.misses db));
+          ("classes", Bench_json.Int (Database.size db));
+          ("loaded", Bench_json.Int si.Database.loaded);
+          ("skipped", Bench_json.Int si.Database.skipped);
+          ("flushed", Bench_json.Int si.Database.flushed);
+          ("seconds", Bench_json.Float !total) ]
+      :: !rows;
+    db
+  in
+  let _cold = phase "cold" in
+  let warm_db = phase "warm" in
+  (* tear the last few bytes off the store: the loader must skip the torn
+     entry with a warning and keep everything before it *)
+  let size = (Unix.stat store).Unix.st_size in
+  Unix.truncate store (max 12 (size - 5));
+  let _corrupt = phase "corrupt" in
+  Runmeta.set_cache (Database.obs_gauges warm_db);
+  Bench_json.write "cache" (List.rev !rows);
+  try Sys.remove store with Sys_error _ -> ()
+
+(* -------------------------------------------------------------------- *)
 (* Partition: sequential flow vs the partition-parallel engine on the    *)
 (* largest suite members.  Reports wall time, QoR and the engine's       *)
 (* accept/reject statistics.  Speedup over sequential depends on the     *)
@@ -694,6 +763,7 @@ let () =
   | "smoke" -> smoke ()
   | "partition" -> partition_bench ()
   | "sat" -> sat_bench ()
+  | "cache" -> cache_bench ()
   | "all" ->
     micro ();
     cuts_bench ();
@@ -701,10 +771,11 @@ let () =
     table2 ();
     ablation ();
     partition_bench ();
-    sat_bench ()
+    sat_bench ();
+    cache_bench ()
   | other ->
     Printf.eprintf
       "unknown bench target %s \
-       (table1|table2|micro|cuts|ablation|smoke|partition|sat|all)\n"
+       (table1|table2|micro|cuts|ablation|smoke|partition|sat|cache|all)\n"
       other;
     exit 1

@@ -50,6 +50,13 @@ let stats_cmd =
 
 (* -- opt -- *)
 
+module RC = Genlog.Run_config
+
+(* Flag defaults are seeded from the environment-resolved config, so the
+   precedence is: built-in defaults < GENLOG_* variables < explicit
+   flags.  One resolution, shared by every subcommand. *)
+let base_cfg = RC.of_env ()
+
 let representation =
   Arg.(
     value
@@ -59,13 +66,13 @@ let representation =
 let script_arg =
   Arg.(
     value
-    & opt string Genlog.Script.compress2rs
+    & opt string base_cfg.RC.script
     & info [ "s"; "script" ] ~docv:"SCRIPT")
 
 let trace_arg =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some string) base_cfg.RC.trace_path
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a JSONL pass-level trace (one event per line) to $(docv).")
 
@@ -80,7 +87,7 @@ let stats_flag =
 let sample_arg =
   Arg.(
     value
-    & opt int 0
+    & opt int base_cfg.RC.sample
     & info [ "sample" ] ~docv:"N"
         ~doc:"Record 1-in-$(docv) node-level events (candidate, gain, \
               accepted) in the trace; 0 disables node sampling. Implies \
@@ -89,7 +96,7 @@ let sample_arg =
 let partition_arg =
   Arg.(
     value
-    & opt int 0
+    & opt int base_cfg.RC.partition
     & info [ "partition" ] ~docv:"SIZE"
         ~doc:"Carve the network into partitions of at most $(docv) gates and \
               optimize them in parallel (0 disables partitioning). Every \
@@ -100,35 +107,53 @@ let partition_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Domain.recommended_domain_count ())
+    & opt int base_cfg.RC.jobs
     & info [ "jobs" ] ~docv:"N"
-        ~doc:"Worker domains for $(b,--partition) (default: the runtime's \
-              recommended domain count).")
+        ~doc:"Worker domains for $(b,--partition) and for batch runs over \
+              several input files (default: the runtime's recommended \
+              domain count).")
 
 let sat_jobs_arg =
   Arg.(
     value
-    & opt int 1
+    & opt int base_cfg.RC.sat_jobs
     & info [ "sat-jobs" ] ~docv:"N"
         ~doc:"Race $(docv) diversified SAT solver configurations in parallel \
               in SAT-heavy passes (fraig escalation, exact synthesis); the \
               first answer wins and cancels the rest. 1 disables the \
               portfolio.")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) base_cfg.RC.cache
+    & info [ "cache" ] ~docv:"PATH"
+        ~doc:"Persistent exact-synthesis store: NPN-class results are \
+              loaded from $(docv) on start and newly synthesized classes \
+              are appended once at exit, so warm runs skip SAT-based \
+              re-synthesis entirely. The file is keyed to the synthesis \
+              domain by a fingerprinted header; a mismatched or corrupt \
+              store is skipped with a warning, never an error.")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (enum [ ("modern", "modern"); ("legacy", "legacy") ]) base_cfg.RC.kernel
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:"SAT kernel: $(b,modern) (EMA restarts, inprocessing) or \
+              $(b,legacy) (pre-modernization baseline). Equivalent to \
+              setting GENLOG_SAT_KERNEL.")
+
 (* One code path for all four representations: run the whole-network script
    engine, or the partition-parallel engine when a partition size is set.
    The exact-synthesis database is domain-safe, so a single [env] is shared
    by every worker. *)
 let optimize_network (type t)
-    (module N : Genlog.Intf.NETWORK with type t = t) env ~script ~trace
-    ~partition ~jobs (net : t) : t =
-  if partition > 0 then begin
+    (module N : Genlog.Intf.NETWORK with type t = t) env ~(cfg : RC.t) ~trace
+    (net : t) : t =
+  if cfg.RC.partition > 0 then begin
     let module P = Genlog.Flow.Partition.Make (N) in
-    let r, st =
-      P.run ~size_cap:partition ~jobs ~script ~trace
-        ~make_env:(fun () -> env)
-        net
-    in
+    let r, st = P.run_with ~trace ~config:cfg ~make_env:(fun () -> env) net in
     Printf.eprintf
       "partition: %d pieces, %d accepted, %d rejected (cost), %d rejected \
        (cex), %d sim mismatches, jobs = %d\n\
@@ -139,81 +164,173 @@ let optimize_network (type t)
   end
   else
     let module F = Genlog.Flow.Make (N) in
-    F.run_script env ~trace net script
+    F.run_script env ~trace net cfg.RC.script
 
 let opt_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let output =
-    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Input AIGER file(s). Several files form a batch: all of \
+               them run through one process sharing one warm \
+               exact-synthesis database.")
   in
-  let run file rep script output trace_file stats sample partition jobs
-      sat_jobs =
-    let t = read_aig file in
-    Printf.eprintf "baseline: %s\n%!" (stats_of_aig t);
-    let rep_name =
-      match rep with `Aig -> "aig" | `Mig -> "mig" | `Xag -> "xag" | `Xmg -> "xmg"
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT"
+          ~doc:"Single input: output file (stdout when omitted). Batch: \
+                output directory, created if missing (default: \
+                $(i,FILE).opt.aag next to each input).")
+  in
+  let run files rep script output trace_file stats sample partition jobs
+      sat_jobs cache kernel =
+    let representation =
+      match rep with
+      | `Aig -> RC.Aig
+      | `Mig -> RC.Mig
+      | `Xag -> RC.Xag
+      | `Xmg -> RC.Xmg
     in
+    let cfg =
+      RC.make ~representation ~script ?trace_path:trace_file ~stats ~sample
+        ~partition ~jobs ~sat_jobs ~budget:base_cfg.RC.budget ~kernel ?cache ()
+    in
+    RC.publish_kernel cfg;
+    let rep_name = RC.representation_to_string representation in
     let trace =
-      if trace_file <> None || stats then
-        Genlog.Trace.create ~flow:rep_name ~sample ()
+      if cfg.RC.trace_path <> None || cfg.RC.stats then
+        Genlog.Trace.create ~flow:rep_name ~sample:cfg.RC.sample ()
       else Genlog.Trace.null
     in
-    let optimized_aig =
-      match rep with
-      | `Aig ->
-        let r =
-          optimize_network (module Aig) (Genlog.Flow.aig_env ~sat_jobs ()) ~script
-            ~trace ~partition ~jobs t
-        in
-        Printf.eprintf "aig: gates = %d depth = %d\n%!" (Aig.num_gates r) (D.depth r);
-        r
-      | `Mig ->
+    let env = Genlog.Flow.env_of_config cfg in
+    (* per-representation processing function: AIG in, optimized AIG out *)
+    let process : Genlog.Trace.t -> Aig.t -> Aig.t =
+      match representation with
+      | RC.Aig ->
+        fun tr t ->
+          let r = optimize_network (module Aig) env ~cfg ~trace:tr t in
+          Printf.eprintf "aig: gates = %d depth = %d\n%!" (Aig.num_gates r)
+            (D.depth r);
+          r
+      | RC.Mig ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Mig) in
         let module Cb = Genlog.Convert.Make (Genlog.Mig) (Aig) in
         let module Dm = Genlog.Depth.Make (Genlog.Mig) in
-        let r =
-          optimize_network (module Genlog.Mig) (Genlog.Flow.mig_env ~sat_jobs ())
-            ~script ~trace ~partition ~jobs (C.convert t)
-        in
-        Printf.eprintf "mig: gates = %d depth = %d (written back as AIG)\n%!"
-          (Genlog.Mig.num_gates r) (Dm.depth r);
-        Cb.convert r
-      | `Xag ->
+        fun tr t ->
+          let r =
+            optimize_network (module Genlog.Mig) env ~cfg ~trace:tr (C.convert t)
+          in
+          Printf.eprintf "mig: gates = %d depth = %d (written back as AIG)\n%!"
+            (Genlog.Mig.num_gates r) (Dm.depth r);
+          Cb.convert r
+      | RC.Xag ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Xag) in
         let module Cb = Genlog.Convert.Make (Genlog.Xag) (Aig) in
         let module Dx = Genlog.Depth.Make (Genlog.Xag) in
-        let r =
-          optimize_network (module Genlog.Xag) (Genlog.Flow.xag_env ~sat_jobs ())
-            ~script ~trace ~partition ~jobs (C.convert t)
-        in
-        Printf.eprintf "xag: gates = %d depth = %d (written back as AIG)\n%!"
-          (Genlog.Xag.num_gates r) (Dx.depth r);
-        Cb.convert r
-      | `Xmg ->
+        fun tr t ->
+          let r =
+            optimize_network (module Genlog.Xag) env ~cfg ~trace:tr (C.convert t)
+          in
+          Printf.eprintf "xag: gates = %d depth = %d (written back as AIG)\n%!"
+            (Genlog.Xag.num_gates r) (Dx.depth r);
+          Cb.convert r
+      | RC.Xmg ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Xmg) in
         let module Cb = Genlog.Convert.Make (Genlog.Xmg) (Aig) in
         let module Dx = Genlog.Depth.Make (Genlog.Xmg) in
-        let r =
-          optimize_network (module Genlog.Xmg) (Genlog.Flow.xmg_env ~sat_jobs ())
-            ~script ~trace ~partition ~jobs (C.convert t)
-        in
-        Printf.eprintf "xmg: gates = %d depth = %d (written back as AIG)\n%!"
-          (Genlog.Xmg.num_gates r) (Dx.depth r);
-        Cb.convert r
+        fun tr t ->
+          let r =
+            optimize_network (module Genlog.Xmg) env ~cfg ~trace:tr (C.convert t)
+          in
+          Printf.eprintf "xmg: gates = %d depth = %d (written back as AIG)\n%!"
+            (Genlog.Xmg.num_gates r) (Dx.depth r);
+          Cb.convert r
     in
-    (match trace_file with
+    let optimize_one (file, tr) =
+      let t = read_aig file in
+      Printf.eprintf "%s: %s\n%!" file (stats_of_aig t);
+      process tr t
+    in
+    let many = List.length files > 1 in
+    (* child trace sinks are created up front on this domain; each batch
+       worker writes only its own, preserving the single-writer rule *)
+    let items =
+      List.map
+        (fun f ->
+          ( f,
+            if many then Genlog.Trace.child trace ~flow:(Filename.basename f)
+            else trace ))
+        files
+    in
+    let results =
+      if many && cfg.RC.partition = 0 && cfg.RC.jobs > 1 then begin
+        (* batch parallelism across files on the Parmap pool; the shared
+           database means an NPN class is synthesized once per batch, not
+           once per file *)
+        let arr = Array.of_list items in
+        let res, _ =
+          Genlog.Flow.Parmap.map ~jobs:cfg.RC.jobs
+            ~init:(fun _ -> ())
+            ~f:(fun () item -> optimize_one item)
+            arr
+        in
+        Array.to_list res
+      end
+      else List.map optimize_one items
+    in
+    if many then Genlog.Trace.merge trace (List.map snd items);
+    (* one store flush for the whole batch *)
+    Genlog.Database.flush env.Genlog.Flow.db;
+    (match cfg.RC.cache with
+    | Some path ->
+      let db = env.Genlog.Flow.db in
+      let si = Genlog.Database.store_info db in
+      Printf.eprintf
+        "cache %s: %d classes (%d loaded, %d skipped, %d appended), %d hits, \
+         %d misses\n\
+         %!"
+        path (Genlog.Database.size db) si.Genlog.Database.loaded
+        si.Genlog.Database.skipped si.Genlog.Database.flushed
+        (Genlog.Database.hits db)
+        (Genlog.Database.misses db);
+      Genlog.Runmeta.set_cache (Genlog.Database.obs_gauges db)
+    | None -> ());
+    Genlog.Flow.emit_db_metrics env trace;
+    (match cfg.RC.trace_path with
     | Some path -> Genlog.Trace.write_file trace path
     | None -> ());
-    if stats then
-      Format.eprintf "%a%!" Genlog.Trace.pp_summary trace;
-    match output with
-    | Some path -> Genlog.Aiger.write_file optimized_aig path
-    | None -> Genlog.Aiger.write optimized_aig stdout
+    if cfg.RC.stats then Format.eprintf "%a%!" Genlog.Trace.pp_summary trace;
+    match (files, results, output) with
+    | [ _ ], [ r ], None -> Genlog.Aiger.write r stdout
+    | [ _ ], [ r ], Some path -> Genlog.Aiger.write_file r path
+    | _ ->
+      let dest file =
+        match output with
+        | None -> file ^ ".opt.aag"
+        | Some dir ->
+          if Sys.file_exists dir then begin
+            if not (Sys.is_directory dir) then begin
+              Printf.eprintf "opt: %s exists and is not a directory\n" dir;
+              exit 2
+            end
+          end
+          else Unix.mkdir dir 0o755;
+          Filename.concat dir (Filename.basename file)
+      in
+      List.iter2
+        (fun file r ->
+          let path = dest file in
+          Genlog.Aiger.write_file r path;
+          Printf.eprintf "%s -> %s\n%!" file path)
+        files results
   in
   Cmd.v
-    (Cmd.info "opt" ~doc:"Optimize with the generic resynthesis flow")
-    Term.(const run $ file $ representation $ script_arg $ output $ trace_arg
-          $ stats_flag $ sample_arg $ partition_arg $ jobs_arg $ sat_jobs_arg)
+    (Cmd.info "opt"
+       ~doc:"Optimize with the generic resynthesis flow (batch mode: pass \
+             several FILEs to amortize exact synthesis across them)")
+    Term.(const run $ files $ representation $ script_arg $ output $ trace_arg
+          $ stats_flag $ sample_arg $ partition_arg $ jobs_arg $ sat_jobs_arg
+          $ cache_arg $ kernel_arg)
 
 (* -- map -- *)
 
@@ -243,18 +360,24 @@ let cec_cmd =
   let budget =
     Arg.(
       value
-      & opt int 0
+      & opt int base_cfg.RC.budget
       & info [ "budget" ] ~docv:"CONFLICTS"
           ~doc:"Single-attempt conflict budget. 0 (the default) climbs the \
                 escalating budget ladder and reports UNKNOWN when the \
                 instance stays open; -1 solves without any budget.")
   in
-  let run file_a file_b budget sat_jobs =
+  let run file_a file_b budget sat_jobs kernel =
+    let cfg = RC.make ~budget ~sat_jobs ~kernel () in
+    RC.publish_kernel cfg;
     let a = read_aig file_a and b = read_aig file_b in
     let module C = Genlog.Cec.Make (Aig) (Aig) in
+    let config = RC.solver_config cfg in
     let result, report =
-      if budget < 0 then C.check_full ~ladder:[] ~jobs:sat_jobs a b
-      else C.check_full ~conflict_budget:budget ~jobs:sat_jobs a b
+      if cfg.RC.budget < 0 then
+        C.check_full ~ladder:[] ~config ~jobs:cfg.RC.sat_jobs a b
+      else
+        C.check_full ~conflict_budget:cfg.RC.budget ~config
+          ~jobs:cfg.RC.sat_jobs a b
     in
     Printf.eprintf "cec: winner = %s, conflicts = %d, rungs = %d\n%!"
       report.C.winner report.C.conflicts report.C.rungs_used;
@@ -272,7 +395,7 @@ let cec_cmd =
       exit 2
   in
   Cmd.v (Cmd.info "cec" ~doc:"SAT combinational equivalence check")
-    Term.(const run $ file_a $ file_b $ budget $ sat_jobs_arg)
+    Term.(const run $ file_a $ file_b $ budget $ sat_jobs_arg $ kernel_arg)
 
 (* -- exact -- *)
 
@@ -284,7 +407,9 @@ let exact_cmd =
       & opt (enum [ ("aig", `Aig); ("xag", `Xag); ("mig", `Mig); ("xmg", `Xmg) ]) `Xag
       & info [ "r"; "representation" ] ~docv:"REP")
   in
-  let run hex rep sat_jobs =
+  let run hex rep sat_jobs kernel =
+    let cfg = RC.make ~sat_jobs ~kernel () in
+    RC.publish_kernel cfg;
     (* infer the variable count from the hex length: 2^n bits = 4*len *)
     let bits = 4 * String.length hex in
     let n =
@@ -299,7 +424,7 @@ let exact_cmd =
       | `Mig -> Genlog.Exact_synth.mig_config
       | `Xmg -> Genlog.Exact_synth.xmg_config
     in
-    let config = { config with Genlog.Exact_synth.sat_jobs } in
+    let config = { config with Genlog.Exact_synth.sat_jobs = cfg.RC.sat_jobs } in
     match Genlog.Exact_synth.synthesize config f with
     | Genlog.Exact_synth.Const b -> Printf.printf "constant %d\n" (if b then 1 else 0)
     | Genlog.Exact_synth.Projection (v, c) ->
@@ -314,7 +439,7 @@ let exact_cmd =
   Cmd.v
     (Cmd.info "exact"
        ~doc:"SAT-exact synthesis of a function given as a hex truth table")
-    Term.(const run $ hex $ rep $ sat_jobs_arg)
+    Term.(const run $ hex $ rep $ sat_jobs_arg $ kernel_arg)
 
 (* -- report -- *)
 

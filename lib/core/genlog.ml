@@ -71,6 +71,7 @@ module Sat_portfolio = Satkit.Portfolio
 module Dimacs = Satkit.Dimacs
 module Exact_chain = Exact.Chain
 module Exact_synth = Exact.Synth
+module Exact_store = Exact.Store
 module Database = Exact.Database
 module Decode = Exact.Decode
 
@@ -97,9 +98,11 @@ module Runmeta = Obs.Runmeta
 
 (* flows *)
 module Script = Flow.Script
+module Run_config = Flow.Run_config
 module Flow = struct
   include Flow.Engine
 
+  module Run_config = Flow.Run_config
   module Portfolio = Flow.Portfolio
   module Specialized_aig = Flow.Specialized_aig
   module Partition = Flow.Partition

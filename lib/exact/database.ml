@@ -15,7 +15,14 @@
    be repeated once per worker.  Synthesis itself runs *outside* the lock:
    two workers missing different classes synthesize concurrently, and the
    rare race where both miss the same class costs one duplicated synthesis
-   (the first inserted result wins), never a wrong answer. *)
+   (the first inserted result wins), never a wrong answer.
+
+   A database can additionally be attached to an on-disk {!Store}: known
+   classes are merged in at attach time (existing in-memory entries win,
+   preserving first-insert-wins across the process/disk boundary) and
+   classes synthesized since the last flush are appended by [flush] — one
+   append per batch, not per class, so a batch run pays the write cost
+   once at exit. *)
 
 open Kitty
 
@@ -26,23 +33,68 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable failures : int;
+  (* persistence; [store_path = None] means detached (no disk traffic) *)
+  mutable store_path : string option;
+  mutable pending : Store.entry list; (* newest first; flushed in order *)
+  mutable loaded : int; (* entries merged from the store at attach *)
+  mutable skipped : int; (* corrupt/truncated entries the load passed over *)
+  mutable flushed : int; (* entries appended to the store so far *)
 }
 
-let create config =
-  {
-    config;
-    cache = Hashtbl.create 512;
-    lock = Mutex.create ();
-    hits = 0;
-    misses = 0;
-    failures = 0;
-  }
+(* Cache keys carry the variable count: a bare hex string is ambiguous
+   below three variables (0-, 1- and 2-variable tables all print as a
+   single nibble). *)
+let key_of num_vars hex = string_of_int num_vars ^ ":" ^ hex
+
+let split_key k =
+  match String.index_opt k ':' with
+  | Some i ->
+    ( int_of_string (String.sub k 0 i),
+      String.sub k (i + 1) (String.length k - i - 1) )
+  | None -> invalid_arg "Database.split_key"
+
+let attach db path =
+  let l = Store.load ~config:db.config path in
+  Mutex.lock db.lock;
+  if l.Store.domain_ok then begin
+    db.store_path <- Some path;
+    List.iter
+      (fun (e : Store.entry) ->
+        let k = key_of e.Store.num_vars e.Store.key in
+        if not (Hashtbl.mem db.cache k) then
+          Hashtbl.replace db.cache k e.Store.result)
+      l.Store.entries;
+    db.loaded <- db.loaded + l.Store.loaded
+  end;
+  db.skipped <- db.skipped + l.Store.skipped;
+  Mutex.unlock db.lock
+
+let create ?store config =
+  let db =
+    {
+      config;
+      cache = Hashtbl.create 512;
+      lock = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      failures = 0;
+      store_path = None;
+      pending = [];
+      loaded = 0;
+      skipped = 0;
+      flushed = 0;
+    }
+  in
+  (match store with Some path -> attach db path | None -> ());
+  db
 
 (* Result for the *canonical* representative of [f]'s NPN class, plus the
    transform mapping [f] to that representative. *)
 let lookup db f =
   let canonical, tr = Npn.canonize f in
-  let key = Tt.to_hex canonical in
+  let num_vars = Tt.num_vars canonical in
+  let hex = Tt.to_hex canonical in
+  let key = key_of num_vars hex in
   Mutex.lock db.lock;
   match Hashtbl.find_opt db.cache key with
   | Some e ->
@@ -60,12 +112,86 @@ let lookup db f =
       | None ->
         if e = Synth.Failed then db.failures <- db.failures + 1;
         Hashtbl.replace db.cache key e;
+        if db.store_path <> None then
+          db.pending <- { Store.num_vars; key = hex; result = e } :: db.pending;
         e
     in
     Mutex.unlock db.lock;
     (e, tr)
 
+let flush db =
+  Mutex.lock db.lock;
+  let path = db.store_path in
+  let batch = List.rev db.pending in
+  db.pending <- [];
+  Mutex.unlock db.lock;
+  match path with
+  | Some p when batch <> [] ->
+    if Store.append ~config:db.config p batch then begin
+      Mutex.lock db.lock;
+      db.flushed <- db.flushed + List.length batch;
+      Mutex.unlock db.lock
+    end
+  | _ -> ()
+
+let compact db =
+  match db.store_path with
+  | None -> ()
+  | Some p ->
+    Mutex.lock db.lock;
+    let entries =
+      Hashtbl.fold
+        (fun k result acc ->
+          let num_vars, key = split_key k in
+          { Store.num_vars; key; result } :: acc)
+        db.cache []
+    in
+    db.pending <- [] (* the cache is a superset of pending *);
+    Mutex.unlock db.lock;
+    Store.compact ~config:db.config p entries
+
+let with_lock db f =
+  Mutex.lock db.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock db.lock) f
+
+let size db = with_lock db (fun () -> Hashtbl.length db.cache)
+let hits db = db.hits
+let misses db = db.misses
+let failures db = db.failures
 let stats db = (db.hits, db.misses, db.failures)
+
+type store_info = {
+  path : string option;
+  loaded : int;
+  skipped : int;
+  flushed : int;
+  pending : int;
+}
+
+let store_info db =
+  with_lock db (fun () ->
+      {
+        path = db.store_path;
+        loaded = db.loaded;
+        skipped = db.skipped;
+        flushed = db.flushed;
+        pending = List.length db.pending;
+      })
+
+(* Counter snapshot in the shape the obs layer wants (metrics gauges, the
+   run-metadata cache block). *)
+let obs_gauges db =
+  let si = store_info db in
+  [
+    ("classes", size db);
+    ("hits", db.hits);
+    ("misses", db.misses);
+    ("failures", db.failures);
+    ("store_loaded", si.loaded);
+    ("store_skipped", si.skipped);
+    ("store_flushed", si.flushed);
+    ("store_pending", si.pending);
+  ]
 
 let pp_stats fmt db =
   Format.fprintf fmt "db: %d classes cached, %d hits, %d failures"

@@ -11,38 +11,68 @@ type env = {
   sat_jobs : int;  (* > 1 races a solver portfolio in SAT-heavy passes *)
 }
 
-(* Per-representation presets. *)
-let aig_env ?(sat_jobs = 1) () =
+(* Per-representation presets.  [cache] attaches the database to a
+   persistent on-disk store (see Exact.Store): known NPN classes are
+   loaded up front and new ones appended when the driver calls
+   [Exact.Database.flush]. *)
+let aig_env ?(sat_jobs = 1) ?cache () =
   {
-    db = Exact.Database.create { Exact.Synth.aig_config with sat_jobs };
+    db =
+      Exact.Database.create ?store:cache { Exact.Synth.aig_config with sat_jobs };
     kernel = Algo.Resub.And_or;
     max_refactor_inputs = 10;
     sat_jobs;
   }
 
-let xag_env ?(sat_jobs = 1) () =
+let xag_env ?(sat_jobs = 1) ?cache () =
   {
-    db = Exact.Database.create { Exact.Synth.xag_config with sat_jobs };
+    db =
+      Exact.Database.create ?store:cache { Exact.Synth.xag_config with sat_jobs };
     kernel = Algo.Resub.And_or_xor;
     max_refactor_inputs = 10;
     sat_jobs;
   }
 
-let mig_env ?(sat_jobs = 1) () =
+let mig_env ?(sat_jobs = 1) ?cache () =
   {
-    db = Exact.Database.create { Exact.Synth.mig_config with sat_jobs };
+    db =
+      Exact.Database.create ?store:cache { Exact.Synth.mig_config with sat_jobs };
     kernel = Algo.Resub.Maj3;
     max_refactor_inputs = 10;
     sat_jobs;
   }
 
-let xmg_env ?(sat_jobs = 1) () =
+let xmg_env ?(sat_jobs = 1) ?cache () =
   {
-    db = Exact.Database.create { Exact.Synth.xmg_config with sat_jobs };
+    db =
+      Exact.Database.create ?store:cache { Exact.Synth.xmg_config with sat_jobs };
     kernel = Algo.Resub.Maj3;
     max_refactor_inputs = 10;
     sat_jobs;
   }
+
+(* The typed run configuration selects the whole env in one step. *)
+let env_of_config (cfg : Run_config.t) =
+  let mk =
+    match cfg.Run_config.representation with
+    | Run_config.Aig -> aig_env
+    | Run_config.Mig -> mig_env
+    | Run_config.Xag -> xag_env
+    | Run_config.Xmg -> xmg_env
+  in
+  mk ~sat_jobs:cfg.Run_config.sat_jobs ?cache:cfg.Run_config.cache ()
+
+(* Snapshot the exact-synthesis database counters into the trace as
+   metrics gauges (algo "exact_db"), so report/QoR tooling can see cache
+   behaviour per run. *)
+let emit_db_metrics (env : env) trace =
+  if Obs.Trace.enabled trace then begin
+    let m = Obs.Metrics.create ~algo:"exact_db" () in
+    List.iter
+      (fun (name, v) -> Obs.Metrics.set (Obs.Metrics.gauge m name) v)
+      (Exact.Database.obs_gauges env.db);
+    Obs.Metrics.emit m trace
+  end
 
 type stats = {
   nodes : int;
@@ -119,6 +149,7 @@ module Make (N : Network.Intf.NETWORK) = struct
       let { nodes; levels } = network_stats cleaned in
       Obs.Trace.pass_end trace ~gc ~pass:"cleanup" ~index ~gates:nodes
         ~depth:levels ~elapsed ();
+      emit_db_metrics env trace;
       cleaned
     end
 

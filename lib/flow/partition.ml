@@ -434,4 +434,14 @@ module Make (N : Network.Intf.NETWORK) = struct
         optimize_seconds;
         stitch_seconds;
       } )
+
+  (* Typed-config entry point: partition size, worker count and script all
+     come from one [Run_config.t].  [make_env] stays explicit because the
+     caller knows which representation [N] is. *)
+  let run_with ?(trace = Obs.Trace.null) ~(config : Run_config.t) ~make_env
+      (net : N.t) : N.t * stats =
+    run
+      ~size_cap:(max 1 config.Run_config.partition)
+      ~jobs:config.Run_config.jobs ~script:config.Run_config.script ~trace
+      ~make_env net
 end

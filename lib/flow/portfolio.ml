@@ -124,18 +124,43 @@ let default_jobs : (module JOB) list =
    benchmarks — they are keyed by NPN class, so they warm up once per
    process; each environment is only ever touched by its own
    representation's domain.  [parallel:false] falls back to sequential
-   execution, e.g. for deterministic timing of the individual flows. *)
-let run ?(script = Script.compress2rs) ?(k = 6) ?(envs = [])
-    ?(jobs = default_jobs) ?(parallel = true) ?(trace = Obs.Trace.null)
-    (baseline : Aig.t) : result =
+   execution, e.g. for deterministic timing of the individual flows.
+
+   [config] supplies the typed run configuration: its script is used
+   unless [script] overrides it, and job environments missing from [envs]
+   are built through [Engine.env_of_config] so sat-jobs and the
+   persistent exact-synthesis cache apply to every roster member (the
+   cache path is suffixed per representation — stores are
+   per-synthesis-domain). *)
+let run ?config ?script ?(k = 6) ?(envs = []) ?(jobs = default_jobs)
+    ?(parallel = true) ?(trace = Obs.Trace.null) (baseline : Aig.t) : result =
+  let script =
+    match (script, config) with
+    | Some s, _ -> s
+    | None, Some c -> c.Run_config.script
+    | None, None -> Script.compress2rs
+  in
+  let env_for (module J : JOB) =
+    match List.assoc_opt J.representation envs with
+    | Some e -> e
+    | None -> (
+      match
+        ( config,
+          Run_config.representation_of_string J.representation )
+      with
+      | Some c, Some representation ->
+        let cache =
+          Option.map
+            (fun p -> p ^ "." ^ J.representation)
+            c.Run_config.cache
+        in
+        Engine.env_of_config { c with Run_config.representation; cache }
+      | _ -> J.default_env ())
+  in
   let staged =
     List.map
       (fun (module J : JOB) ->
-        let env =
-          match List.assoc_opt J.representation envs with
-          | Some e -> e
-          | None -> J.default_env ()
-        in
+        let env = env_for (module J : JOB) in
         let child = Obs.Trace.child trace ~flow:J.representation in
         (child, J.stage ~env ~script ~k ~trace:child baseline))
       jobs

@@ -179,6 +179,15 @@ let pp_bench fmt (j : Json.t) =
   let rows = bench_rows j in
   let name = Option.value ~default:"?" (Json.str_member "bench" j) in
   Format.fprintf fmt "bench %s (%d rows)@." name (List.length rows);
+  (match Json.member "cache" j with
+  | Some (Json.Obj kvs) ->
+    Format.fprintf fmt "cache: %s@."
+      (String.concat " "
+         (List.filter_map
+            (fun (k, v) ->
+              Option.map (fun n -> Printf.sprintf "%s=%.0f" k n) (Json.to_num v))
+            kvs))
+  | _ -> ());
   Format.fprintf fmt "%-14s %-14s  %s@." "benchmark" "stage" "fields";
   List.iter
     (fun r ->

@@ -52,6 +52,25 @@ let escape s =
     s;
   Buffer.contents b
 
+(* Optional per-run cache block: counters of the exact-synthesis store
+   (hits, misses, loaded, flushed, ...) stamped by the driver via
+   [set_cache].  Rendered into the trace meta line and BENCH headers only
+   when set, so schema-v2 consumers that predate the block are
+   unaffected. *)
+let cache_fields : (string * int) list option ref = ref None
+let set_cache kvs = cache_fields := Some kvs
+
+let cache_json () =
+  Option.map
+    (fun kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v)
+             kvs)
+      ^ "}")
+    !cache_fields
+
 (* The fields as the inner part of a JSON object (no braces), numbers
    unquoted: [ "schema":2,"git_commit":"6cdd9ab",... ]. *)
 let json_fields () =

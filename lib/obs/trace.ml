@@ -296,8 +296,13 @@ let json_of_event = function
       t (escape flow) (escape algo) node gain accepted
 
 let meta_line () =
-  Printf.sprintf "{\"event\":\"meta\",%s,\"generated_unix\":%.0f}"
-    (Runmeta.json_fields ()) (Unix.time ())
+  let cache =
+    match Runmeta.cache_json () with
+    | Some c -> Printf.sprintf ",\"cache\":%s" c
+    | None -> ""
+  in
+  Printf.sprintf "{\"event\":\"meta\",%s%s,\"generated_unix\":%.0f}"
+    (Runmeta.json_fields ()) cache (Unix.time ())
 
 let write_channel t oc =
   output_string oc (meta_line ());

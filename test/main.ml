@@ -6,10 +6,12 @@ let () =
       ("satkit", Test_satkit.suite);
       ("dimacs", Test_dimacs.suite);
       ("exact", Test_exact.suite);
+      ("store", Test_store.suite);
       ("algo", Test_algo.suite);
       ("lsgen", Test_lsgen.suite);
       ("lsio", Test_lsio.suite);
       ("flow", Test_flow.suite);
+      ("run_config", Test_run_config.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
       ("capabilities", Test_capabilities.suite);

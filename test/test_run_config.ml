@@ -1,0 +1,108 @@
+(* The typed run configuration: builder defaults, the environment
+   override layer, and the JSON round-trip that makes it a job spec. *)
+
+module RC = Flow.Run_config
+
+let cfg =
+  Alcotest.testable (fun fmt c -> Format.pp_print_string fmt (RC.to_json c)) ( = )
+
+let test_json_round_trip () =
+  let c =
+    RC.make ~representation:RC.Xmg ~script:"bz; rw; rf" ~trace_path:"t.jsonl"
+      ~stats:true ~sample:10 ~partition:500 ~jobs:3 ~sat_jobs:2 ~budget:1000
+      ~kernel:"legacy" ~cache:"/tmp/store.glxs" ()
+  in
+  match RC.of_json_string (RC.to_json c) with
+  | Ok c' -> Alcotest.check cfg "round-trips" c c'
+  | Error e -> Alcotest.fail e
+
+let test_json_defaults () =
+  (* missing fields fall back to the builder defaults *)
+  match RC.of_json_string "{}" with
+  | Ok c -> Alcotest.check cfg "empty object is default" RC.default c
+  | Error e -> Alcotest.fail e
+
+let test_json_rejects_unknown () =
+  (match RC.of_json_string "{\"representation\":\"zzz\"}" with
+  | Ok _ -> Alcotest.fail "accepted unknown representation"
+  | Error _ -> ());
+  (match RC.of_json_string "{\"kernel\":\"quantum\"}" with
+  | Ok _ -> Alcotest.fail "accepted unknown kernel"
+  | Error _ -> ());
+  match RC.of_json_string "[1,2]" with
+  | Ok _ -> Alcotest.fail "accepted non-object"
+  | Error _ -> ()
+
+let with_env kvs f =
+  let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) kvs in
+  List.iter (fun (k, v) -> Unix.putenv k v) kvs;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (k, old) -> Unix.putenv k (Option.value ~default:"" old))
+        saved)
+    f
+
+let test_env_overrides () =
+  with_env
+    [
+      ("GENLOG_SAT_JOBS", "3");
+      ("GENLOG_PARTITION", "250");
+      ("GENLOG_CACHE", "/tmp/env_store.glxs");
+      ("GENLOG_SAT_KERNEL", "legacy");
+      ("GENLOG_JOBS", "not-a-number");
+    ]
+    (fun () ->
+      let c = RC.of_env () in
+      Alcotest.(check int) "sat_jobs from env" 3 c.RC.sat_jobs;
+      Alcotest.(check int) "partition from env" 250 c.RC.partition;
+      Alcotest.(check (option string))
+        "cache from env"
+        (Some "/tmp/env_store.glxs")
+        c.RC.cache;
+      Alcotest.(check string) "kernel from env" "legacy" c.RC.kernel;
+      (* unparsable integers keep the default rather than failing *)
+      Alcotest.(check int) "bad int ignored" RC.default.RC.jobs c.RC.jobs)
+
+let test_env_layering () =
+  (* env overrides defaults, explicit values override env *)
+  with_env
+    [ ("GENLOG_SAT_JOBS", "7") ]
+    (fun () ->
+      let base = RC.of_env () in
+      Alcotest.(check int) "env wins over default" 7 base.RC.sat_jobs;
+      let explicit = { base with RC.sat_jobs = 2 } in
+      Alcotest.(check int) "explicit wins over env" 2 explicit.RC.sat_jobs)
+
+let test_solver_config () =
+  let legacy = RC.solver_config { RC.default with RC.kernel = "legacy" } in
+  let modern = RC.solver_config RC.default in
+  Alcotest.(check string)
+    "legacy kernel" Satkit.Solver.legacy_config.Satkit.Solver.name
+    legacy.Satkit.Solver.name;
+  Alcotest.(check string)
+    "modern kernel" Satkit.Solver.default_config.Satkit.Solver.name
+    modern.Satkit.Solver.name
+
+let test_representation_strings () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "round-trips" true
+        (RC.representation_of_string (RC.representation_to_string r) = Some r))
+    [ RC.Aig; RC.Mig; RC.Xag; RC.Xmg ];
+  Alcotest.(check bool)
+    "unknown rejected" true
+    (RC.representation_of_string "klut" = None)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json defaults" `Quick test_json_defaults;
+    Alcotest.test_case "json rejects unknown" `Quick test_json_rejects_unknown;
+    Alcotest.test_case "env overrides" `Quick test_env_overrides;
+    Alcotest.test_case "env layering" `Quick test_env_layering;
+    Alcotest.test_case "solver config" `Quick test_solver_config;
+    Alcotest.test_case "representation strings" `Quick
+      test_representation_strings;
+  ]
