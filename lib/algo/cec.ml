@@ -128,6 +128,22 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
     rungs_used : int;     (* ladder rungs consumed (1 = first try) *)
   }
 
+  (* Kernel counters of the answering solver, published as [solver_*]
+     gauges under the "cec" registry so Trace.summarize attributes the
+     miter's work to the enclosing pass span.  Race outcomes go through
+     the race event instead (the summary sums both sources, so each solve
+     reports through exactly one). *)
+  let publish_solver trace solver (rep : report) =
+    if Obs.Trace.enabled trace then begin
+      let m = Obs.Metrics.of_trace trace ~algo:"cec" in
+      List.iter
+        (fun (k, v) -> Obs.Metrics.set (Obs.Metrics.gauge m ("solver_" ^ k)) v)
+        (Satkit.Solver.stats solver);
+      Obs.Metrics.emit m trace;
+      Obs.Trace.report trace ~algo:"cec"
+        [ ("conflicts", rep.conflicts); ("rungs", rep.rungs_used) ]
+    end
+
   (* SAT equivalence check.
 
      Budgets: [conflict_budget] > 0 keeps the historic single-attempt
@@ -137,9 +153,10 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
      [jobs] > 1 races a diversified portfolio (total ladder budget per
      worker) instead of climbing the ladder sequentially; [config] selects
      the kernel for single-job solving (default: {!Satkit.Solver.env_config},
-     i.e. the GENLOG_SAT_KERNEL toggle). *)
-  let check_full ?(conflict_budget = 0) ?ladder ?(jobs = 1) ?config (a : A.t)
-      (b : B.t) : result * report =
+     i.e. the GENLOG_SAT_KERNEL toggle).  [trace] publishes the kernel's
+     counters (and, racing, the per-config outcome) into the sink. *)
+  let check_full ?(trace = Obs.Trace.null) ?(conflict_budget = 0) ?ladder
+      ?(jobs = 1) ?config (a : A.t) (b : B.t) : result * report =
     let mismatch = A.num_pis a <> B.num_pis b || A.num_pos a <> B.num_pos b in
     if mismatch then
       (Counterexample [||], { winner = "shape"; conflicts = 0; rungs_used = 0 })
@@ -173,12 +190,15 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
             | r -> (decode solver pi_vars r, used + 1))
         in
         let r, used = climb 0 rungs in
-        ( r,
+        let rep =
           {
             winner = config.Satkit.Solver.name;
             conflicts = Satkit.Solver.num_conflicts solver;
             rungs_used = used;
-          } )
+          }
+        in
+        publish_solver trace solver rep;
+        (r, rep)
       end
       else begin
         (* portfolio race: each worker gets the whole ladder as one budget *)
@@ -188,6 +208,9 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
             ~build:(fun s -> encode_miter a b s)
             ()
         in
+        if Obs.Trace.enabled trace then
+          Obs.Trace.race trace ~algo:"cec" ~winner:o.Satkit.Portfolio.winner
+            ~configs:(Satkit.Portfolio.race_counters o);
         ( decode o.Satkit.Portfolio.solver o.Satkit.Portfolio.payload
             o.Satkit.Portfolio.result,
           {
@@ -198,7 +221,7 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
       end
     end
 
-  let check ?conflict_budget ?ladder ?jobs ?config (a : A.t) (b : B.t) : result
-      =
-    fst (check_full ?conflict_budget ?ladder ?jobs ?config a b)
+  let check ?trace ?conflict_budget ?ladder ?jobs ?config (a : A.t) (b : B.t) :
+      result =
+    fst (check_full ?trace ?conflict_budget ?ladder ?jobs ?config a b)
 end

@@ -128,6 +128,10 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
                           [ Satkit.Lit.neg lr; Satkit.Lit.neg lm ])
                       ()
                   in
+                  if Obs.Trace.enabled trace then
+                    Obs.Trace.race trace ~algo:"fraig"
+                      ~winner:o.Satkit.Portfolio.winner
+                      ~configs:(Satkit.Portfolio.race_counters o);
                   o.Satkit.Portfolio.result
                 end
                 else verdict

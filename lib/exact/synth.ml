@@ -80,6 +80,57 @@ type result =
   | Chain of Chain.t
   | Failed
 
+(* -- telemetry --
+
+   Process-wide atomic counters of the SAT work exact synthesis burns.
+   exact sits below the observability layer (and is called concurrently
+   from the partition engine's domains), so the counters are lock-free
+   atomics here and the flow layer publishes [telemetry ()] into its
+   metrics sink; per-pass deltas come from sampling around a pass. *)
+
+let t_calls = Atomic.make 0        (* SAT solver invocations *)
+let t_sat = Atomic.make 0
+let t_unsat = Atomic.make 0
+let t_unknown = Atomic.make 0
+let t_races = Atomic.make 0        (* portfolio races among the calls *)
+let t_conflicts = Atomic.make 0
+let t_propagations = Atomic.make 0
+let t_decisions = Atomic.make 0
+let t_restarts = Atomic.make 0
+
+let bump c n = ignore (Atomic.fetch_and_add c n)
+
+let note_result = function
+  | Satkit.Solver.Sat -> bump t_sat 1
+  | Satkit.Solver.Unsat -> bump t_unsat 1
+  | Satkit.Solver.Unknown -> bump t_unknown 1
+
+let note_counters counters =
+  let g k = match List.assoc_opt k counters with Some v -> v | None -> 0 in
+  bump t_conflicts (g "conflicts");
+  bump t_propagations (g "propagations");
+  bump t_decisions (g "decisions");
+  bump t_restarts (g "restarts")
+
+let telemetry () =
+  [
+    ("calls", Atomic.get t_calls);
+    ("sat", Atomic.get t_sat);
+    ("unsat", Atomic.get t_unsat);
+    ("unknown", Atomic.get t_unknown);
+    ("races", Atomic.get t_races);
+    ("solver_conflicts", Atomic.get t_conflicts);
+    ("solver_propagations", Atomic.get t_propagations);
+    ("solver_decisions", Atomic.get t_decisions);
+    ("solver_restarts", Atomic.get t_restarts);
+  ]
+
+let reset_telemetry () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ t_calls; t_sat; t_unsat; t_unknown; t_races; t_conflicts;
+      t_propagations; t_decisions; t_restarts ]
+
 (* choose [k] elements of [candidates] (ascending combinations) *)
 let combinations k candidates =
   let rec go k cands =
@@ -253,7 +304,11 @@ let synthesize_fixed_size ?fence config f r =
   if config.sat_jobs <= 1 then begin
     let s = Satkit.Solver.create ~config:(Satkit.Solver.env_config ()) () in
     let layout = build s in
-    match Satkit.Solver.solve ~conflict_budget:config.conflict_budget s with
+    let r = Satkit.Solver.solve ~conflict_budget:config.conflict_budget s in
+    bump t_calls 1;
+    note_result r;
+    note_counters (Satkit.Solver.stats s);
+    match r with
     | Satkit.Solver.Unsat -> `Unsat
     | Satkit.Solver.Unknown -> `Unknown
     | Satkit.Solver.Sat -> `Sat (decode s layout)
@@ -264,6 +319,11 @@ let synthesize_fixed_size ?fence config f r =
       Satkit.Portfolio.solve ~jobs:config.sat_jobs
         ~conflict_budget:config.conflict_budget ~build ()
     in
+    bump t_calls 1;
+    bump t_races 1;
+    note_result out.Satkit.Portfolio.result;
+    (* attribute every worker's work, losers included *)
+    List.iter (fun (_, cs) -> note_counters cs) out.Satkit.Portfolio.stats;
     match out.Satkit.Portfolio.result with
     | Satkit.Solver.Unsat -> `Unsat
     | Satkit.Solver.Unknown -> `Unknown

@@ -74,6 +74,28 @@ let emit_db_metrics (env : env) trace =
     Obs.Metrics.emit m trace
   end
 
+(* Exact synthesis sits below the obs layer and is shared across domains,
+   so it keeps process-wide atomic counters (Exact.Synth.telemetry); the
+   engine samples them around each pass and publishes the delta inside
+   the span as "exact_sat" gauges.  The [solver_*] keys feed the per-pass
+   SAT totals in Trace.summarize. *)
+let emit_exact_sat_delta trace before =
+  let after = Exact.Synth.telemetry () in
+  let delta =
+    List.map
+      (fun (k, v) ->
+        ( k,
+          v - (match List.assoc_opt k before with Some b -> b | None -> 0) ))
+      after
+  in
+  if List.exists (fun (_, v) -> v <> 0) delta then begin
+    let m = Obs.Metrics.create ~algo:"exact_sat" () in
+    List.iter
+      (fun (name, v) -> Obs.Metrics.set (Obs.Metrics.gauge m name) v)
+      delta;
+    Obs.Metrics.emit m trace
+  end
+
 type stats = {
   nodes : int;
   levels : int;
@@ -119,8 +141,10 @@ module Make (N : Network.Intf.NETWORK) = struct
       let { nodes; levels } = network_stats net in
       let t0 = Unix.gettimeofday () in
       let g0 = Gc.quick_stat () in
+      let x0 = Exact.Synth.telemetry () in
       Obs.Trace.pass_begin trace ~pass ~index ~gates:nodes ~depth:levels;
       dispatch env ~trace net cmd;
+      emit_exact_sat_delta trace x0;
       let elapsed = Unix.gettimeofday () -. t0 in
       let gc = Obs.Trace.gc_diff g0 (Gc.quick_stat ()) in
       let { nodes; levels } = network_stats net in

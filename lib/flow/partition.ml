@@ -235,7 +235,9 @@ module Make (N : Network.Intf.NETWORK) = struct
       else begin
         (* The fingerprint disagreed: let SAT decide.  Only a proof of
            equivalence may override it; Unknown keeps the original. *)
-        match Cec.check ~conflict_budget:cec_conflict_budget sub optimized with
+        match
+          Cec.check ~trace ~conflict_budget:cec_conflict_budget sub optimized
+        with
         | Algo.Cec.Equivalent -> (optimized, Accepted, true, true)
         | Algo.Cec.Counterexample _ | Algo.Cec.Unknown ->
           (sub, Rejected_cex, true, true)

@@ -3,7 +3,12 @@
    Every bench subcommand emits a [BENCH_<name>.json] next to the working
    directory so that successive PRs have a perf trajectory to regress
    against (see EXPERIMENTS.md).  A result file holds one row per
-   (benchmark, stage) pair; fields are flat scalars, no dependencies. *)
+   (benchmark, stage) pair; fields are flat scalars, no dependencies.
+
+   Living in the obs library (rather than next to the bench driver) makes
+   the schema-v2 runmeta header a property of the writer itself: every
+   subcommand that goes through [write] — sat and cache included — is
+   stamped identically, which is what keys the history log. *)
 
 type value = Int of int | Float of float | Str of string
 
@@ -28,14 +33,14 @@ let write name (rows : (string * value) list list) =
   (* run metadata first: commit, compiler, domain count, schema — the
      fields [report --check] needs to compare two BENCH files honestly *)
   let cache =
-    match Genlog.Runmeta.cache_json () with
+    match Runmeta.cache_json () with
     | Some c -> Printf.sprintf "  \"cache\": %s,\n" c
     | None -> ""
   in
   Printf.fprintf oc
     "{\n  \"bench\": \"%s\",\n  %s,\n%s  \"generated_unix\": %.0f,\n  \"rows\": [\n"
     (escape name)
-    (Genlog.Runmeta.json_fields ())
+    (Runmeta.json_fields ())
     cache (Unix.time ());
   List.iteri
     (fun i row ->

@@ -1,0 +1,246 @@
+(* Cross-run performance history: an append-only JSONL log of every
+   BENCH_*.json payload, one (minified) payload per line.
+
+   report --check diffs the current run against one committed baseline;
+   that catches cliffs but not drift, and it carries no trajectory.  The
+   history log keeps every recorded run — keyed by the schema-v2 runmeta
+   the BENCH writer stamps (commit, compiler, domains) — so trends are
+   visible and regressions are judged against a *rolling median* of the
+   last K runs instead of a single, possibly stale, baseline.  The median
+   makes the reference robust to one noisy run; a mean would let a single
+   outlier drag the gate. *)
+
+(* One recorded run: a parsed BENCH payload plus its identifying header. *)
+type run = {
+  bench : string;     (* bench subcommand: "smoke", "table1", "sat", ... *)
+  commit : string;
+  generated : float;  (* unix time stamped by the writer *)
+  rows : Report.bench_row list;
+}
+
+let run_of_json (j : Json.t) : run option =
+  match Json.str_member "bench" j with
+  | None -> None
+  | Some bench ->
+    Some
+      {
+        bench;
+        commit = Option.value ~default:"unknown" (Json.str_member "git_commit" j);
+        generated =
+          Option.value ~default:0.0 (Json.num_member "generated_unix" j);
+        rows = Report.bench_rows j;
+      }
+
+(* Append one BENCH payload to the log as a single minified line.  The
+   log is append-only by construction: open in append mode, one write. *)
+let append ~path (j : Json.t) =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.render j);
+      output_char oc '\n')
+
+let append_file ~path bench_file = append ~path (Json.parse_file bench_file)
+
+(* Load the log in append order.  Corrupt or alien lines are counted and
+   skipped, never fatal: a history file survives interrupted writes and
+   producer upgrades, losing single entries instead of the whole log. *)
+let load ~path : run list * int =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in path in
+    let runs = ref [] in
+    let skipped = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match run_of_json (Json.parse line) with
+           | Some r -> runs := r :: !runs
+           | None | (exception Json.Parse_error _) -> incr skipped
+       done
+     with End_of_file -> close_in ic);
+    (List.rev !runs, !skipped)
+  end
+
+let median (xs : float list) : float =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let a = Array.of_list sorted in
+    if n mod 2 = 1 then a.(n / 2)
+    else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* -- series extraction -- *)
+
+(* A metric series in run order, keyed by (bench, benchmark, stage,
+   field).  Only the gated fields (QoR + time, see report.ml) are
+   tracked: those are the ones with a trend worth watching, and it keeps
+   the table and the dashboard bounded. *)
+type series = {
+  s_bench : string;
+  s_benchmark : string;
+  s_stage : string;
+  s_field : string;
+  values : float list;  (* oldest first *)
+}
+
+let tracked_field f =
+  List.mem f Report.qor_fields || List.mem f Report.time_fields
+
+let series_of_runs (runs : run list) : series list =
+  let tbl : (string * string * string * string, float list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (row : Report.bench_row) ->
+          List.iter
+            (fun (field, v) ->
+              if tracked_field field then begin
+                let key = (r.bench, row.benchmark, row.stage, field) in
+                match Hashtbl.find_opt tbl key with
+                | Some l -> l := v :: !l
+                | None ->
+                  Hashtbl.add tbl key (ref [ v ]);
+                  order := key :: !order
+              end)
+            row.fields)
+        r.rows)
+    runs;
+  List.rev_map
+    (fun ((s_bench, s_benchmark, s_stage, s_field) as key) ->
+      {
+        s_bench;
+        s_benchmark;
+        s_stage;
+        s_field;
+        values = List.rev !(Hashtbl.find tbl key);
+      })
+    !order
+
+(* -- rolling-median drift detection -- *)
+
+type thresholds = {
+  window : int;      (* rolling window: reference = median of last K *)
+  min_history : int; (* reference points required before judging *)
+  qor_pct : float;
+  time_pct : float;
+  time_floor : float;  (* absolute seconds below which time diffs are noise *)
+}
+
+(* The time threshold is tighter than report --check's single-baseline
+   50%: a rolling median has already absorbed run-to-run noise, so a
+   sustained +15% is signal (and a synthetic +20% must trip the gate). *)
+let default_thresholds =
+  { window = 5; min_history = 2; qor_pct = 2.0; time_pct = 15.0;
+    time_floor = 0.05 }
+
+type verdict = {
+  v_series : series;
+  v_reference : float;  (* rolling median of the window before the latest *)
+  v_latest : float;
+  v_delta_pct : float;  (* latest vs reference, + = worse (all metrics
+                           gated here are lower-is-better) *)
+  v_regressed : bool;
+}
+
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let judge (th : thresholds) (s : series) : verdict option =
+  match List.rev s.values with
+  | [] -> None
+  | latest :: prev_rev ->
+    let window = last_n th.window (List.rev prev_rev) in
+    if List.length window < th.min_history then None
+    else begin
+      let reference = median window in
+      let delta = latest -. reference in
+      let delta_pct = 100.0 *. delta /. Float.max reference 1e-9 in
+      let qor = List.mem s.s_field Report.qor_fields in
+      let pct = if qor then th.qor_pct else th.time_pct in
+      let floor = if qor then 0.0 else th.time_floor in
+      let regressed = delta_pct > pct && delta > floor in
+      Some
+        {
+          v_series = s;
+          v_reference = reference;
+          v_latest = latest;
+          v_delta_pct = delta_pct;
+          v_regressed = regressed;
+        }
+    end
+
+let verdicts ?(thresholds = default_thresholds) (runs : run list) :
+    verdict list =
+  List.filter_map (judge thresholds) (series_of_runs runs)
+
+let regressions ?thresholds runs =
+  List.filter (fun v -> v.v_regressed) (verdicts ?thresholds runs)
+
+(* -- trend table -- *)
+
+let spark (values : float list) : string =
+  (* seven-step ASCII sparkline, min..max normalized per series *)
+  let glyphs = [| "_"; "."; "-"; "~"; "+"; "*"; "#" |] in
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left Float.min infinity values in
+    let hi = List.fold_left Float.max neg_infinity values in
+    let span = hi -. lo in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let i =
+             if span <= 0.0 then 0
+             else
+               min
+                 (Array.length glyphs - 1)
+                 (int_of_float ((v -. lo) /. span *. 6.99))
+           in
+           glyphs.(i))
+         values)
+
+let value_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3f" v
+
+(* Per-benchmark trend table over the whole log; one row per tracked
+   metric with enough history to judge, flagged rows first in the exit
+   code's mind but printed in series order for stable diffs. *)
+let pp_trends ?(thresholds = default_thresholds) fmt (runs : run list) =
+  if runs = [] then Format.fprintf fmt "history: no recorded runs@."
+  else begin
+    Format.fprintf fmt
+      "history: %d runs (window %d, qor +%.0f%%, time +%.0f%%)@."
+      (List.length runs) thresholds.window thresholds.qor_pct
+      thresholds.time_pct;
+    Format.fprintf fmt "%-8s %-14s %-14s %-12s | %4s %10s %10s %7s  %s@."
+      "bench" "benchmark" "stage" "field" "runs" "median" "latest" "delta"
+      "trend";
+    List.iter
+      (fun (s : series) ->
+        match judge thresholds s with
+        | None ->
+          Format.fprintf fmt
+            "%-8s %-14s %-14s %-12s | %4d %10s %10s %7s  %s@."
+            s.s_bench s.s_benchmark s.s_stage s.s_field
+            (List.length s.values) "-"
+            (value_str (List.nth s.values (List.length s.values - 1)))
+            "-" (spark s.values)
+        | Some v ->
+          Format.fprintf fmt
+            "%-8s %-14s %-14s %-12s | %4d %10s %10s %+6.1f%%  %s%s@."
+            s.s_bench s.s_benchmark s.s_stage s.s_field
+            (List.length s.values) (value_str v.v_reference)
+            (value_str v.v_latest) v.v_delta_pct (spark s.values)
+            (if v.v_regressed then "  << REGRESSION" else ""))
+      (series_of_runs runs)
+  end

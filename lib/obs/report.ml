@@ -99,6 +99,43 @@ let events_of_json (lines : Json.t list) : Trace.event list =
                gain = int "gain";
                accepted = Json.member "accepted" j = Some (Json.Bool true);
              })
+      | Some "race" ->
+        let configs =
+          match Option.bind (Json.member "configs" j) Json.to_list with
+          | None -> []
+          | Some cs ->
+            List.filter_map
+              (fun c ->
+                match Json.str_member "name" c with
+                | None -> None
+                | Some name ->
+                  let counters =
+                    match Json.member "counters" c with
+                    | Some (Json.Obj kvs) ->
+                      List.filter_map
+                        (fun (k, v) ->
+                          Option.map
+                            (fun f -> (k, int_of_float f))
+                            (Json.to_num v))
+                        kvs
+                    | _ -> []
+                  in
+                  Some
+                    ( name,
+                      Option.value ~default:"unknown"
+                        (Json.str_member "result" c),
+                      counters ))
+              cs
+        in
+        Some
+          (Trace.Race
+             {
+               t;
+               flow;
+               algo = Option.value ~default:"" (Json.str_member "algo" j);
+               winner = Option.value ~default:"" (Json.str_member "winner" j);
+               configs;
+             })
       | _ -> None)
     lines
 
@@ -113,37 +150,53 @@ let load_trace path : Trace.t =
    with End_of_file -> close_in ic);
   Trace.of_events (events_of_json (List.rev !lines))
 
-(* The per-pass table with GC accounting: time %, gate/depth deltas,
-   minor/major words allocated during the pass. *)
+(* Compact winner tally for the races column: "modern:2,luby:1", or "-". *)
+let races_cell (r : Trace.pass_row) =
+  match r.Trace.row_races with
+  | [] -> "-"
+  | ws ->
+    String.concat "," (List.map (fun (w, n) -> Printf.sprintf "%s:%d" w n) ws)
+
+(* The per-pass table with GC and SAT accounting: time %, gate/depth
+   deltas, minor/major words allocated during the pass, SAT kernel
+   conflicts/propagations attributed to it, and portfolio race winners. *)
 let pp_trace fmt (t : Trace.t) =
   let rows = Trace.summarize t in
-  let total = List.fold_left (fun a r -> a +. r.Trace.row_elapsed) 0.0 rows in
-  let pct e = if total <= 0.0 then 0.0 else 100.0 *. e /. total in
-  Format.fprintf fmt
-    "%4s  %-20s %-10s | %8s %5s | %5s | %8s %5s | %10s %10s@." "#" "flow"
-    "pass" "gates" "dG" "dD" "time" "%" "minor_w" "major_w";
-  List.iter
-    (fun (r : Trace.pass_row) ->
-      Format.fprintf fmt
-        "%4d  %-20s %-10s | %8d %5d | %5d | %7.3fs %4.1f%% | %10.0f %10.0f@."
-        r.Trace.row_index r.Trace.row_flow r.Trace.row_pass r.Trace.gates_after
-        (r.Trace.gates_after - r.Trace.gates_before)
-        (r.Trace.depth_after - r.Trace.depth_before)
-        r.Trace.row_elapsed (pct r.Trace.row_elapsed)
-        r.Trace.row_gc.Trace.minor_words r.Trace.row_gc.Trace.major_words)
-    rows;
-  let sum f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
-  Format.fprintf fmt
-    "%4s  %-20s %-10s | %8s %5d | %5d | %7.3fs %5s | %10.0f %10.0f@." ""
-    "total" ""
-    ""
-    (int_of_float
-       (sum (fun r -> float_of_int (r.Trace.gates_after - r.Trace.gates_before))))
-    (int_of_float
-       (sum (fun r -> float_of_int (r.Trace.depth_after - r.Trace.depth_before))))
-    total "100%"
-    (sum (fun r -> r.Trace.row_gc.Trace.minor_words))
-    (sum (fun r -> r.Trace.row_gc.Trace.major_words))
+  if rows = [] then
+    Format.fprintf fmt "trace: no spans recorded (empty or meta-only file)@."
+  else begin
+    let total = List.fold_left (fun a r -> a +. r.Trace.row_elapsed) 0.0 rows in
+    let pct e = if total <= 0.0 then 0.0 else 100.0 *. e /. total in
+    Format.fprintf fmt
+      "%4s  %-20s %-10s | %8s %5s | %5s | %8s %5s | %10s %10s | %9s %11s  %s@."
+      "#" "flow" "pass" "gates" "dG" "dD" "time" "%" "minor_w" "major_w"
+      "sat_confl" "sat_props" "races";
+    List.iter
+      (fun (r : Trace.pass_row) ->
+        Format.fprintf fmt
+          "%4d  %-20s %-10s | %8d %5d | %5d | %7.3fs %4.1f%% | %10.0f %10.0f | %9d %11d  %s@."
+          r.Trace.row_index r.Trace.row_flow r.Trace.row_pass
+          r.Trace.gates_after
+          (r.Trace.gates_after - r.Trace.gates_before)
+          (r.Trace.depth_after - r.Trace.depth_before)
+          r.Trace.row_elapsed (pct r.Trace.row_elapsed)
+          r.Trace.row_gc.Trace.minor_words r.Trace.row_gc.Trace.major_words
+          r.Trace.row_sat_conflicts r.Trace.row_sat_propagations
+          (races_cell r))
+      rows;
+    let sum f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
+    let sumi f = List.fold_left (fun a r -> a + f r) 0 rows in
+    Format.fprintf fmt
+      "%4s  %-20s %-10s | %8s %5d | %5d | %7.3fs %5s | %10.0f %10.0f | %9d %11d@."
+      "" "total" "" ""
+      (sumi (fun r -> r.Trace.gates_after - r.Trace.gates_before))
+      (sumi (fun r -> r.Trace.depth_after - r.Trace.depth_before))
+      total "100%"
+      (sum (fun r -> r.Trace.row_gc.Trace.minor_words))
+      (sum (fun r -> r.Trace.row_gc.Trace.major_words))
+      (sumi (fun r -> r.Trace.row_sat_conflicts))
+      (sumi (fun r -> r.Trace.row_sat_propagations))
+  end
 
 (* -- bench side: BENCH_*.json rows -- *)
 
@@ -219,6 +272,33 @@ type thresholds = {
 
 let default_thresholds =
   { qor_pct = 2.0; time_pct = 50.0; time_floor = 0.05; check_time = true }
+
+(* Per-metric comparison lines over the gated fields, independent of the
+   verdict: a passing gate should still leave evidence in the CI log of
+   what was compared and by how much it moved. *)
+let deltas ~baseline ~current : string list =
+  let curr_rows = bench_rows current in
+  let find b s =
+    List.find_opt (fun r -> r.benchmark = b && r.stage = s) curr_rows
+  in
+  List.concat_map
+    (fun (b : bench_row) ->
+      match find b.benchmark b.stage with
+      | None -> [ Printf.sprintf "%s/%s: missing from current" b.benchmark b.stage ]
+      | Some c ->
+        List.filter_map
+          (fun (key, base_v) ->
+            if not (List.mem key qor_fields || List.mem key time_fields) then
+              None
+            else
+              Option.map
+                (fun cur_v ->
+                  Printf.sprintf "%s/%s: %s %.6g -> %.6g (%+.1f%%)" b.benchmark
+                    b.stage key base_v cur_v
+                    (100.0 *. (cur_v -. base_v) /. Float.max base_v 1e-9))
+                (List.assoc_opt key c.fields))
+          b.fields)
+    (bench_rows baseline)
 
 (* Compare [current] against [baseline]; returns one message per
    regression (empty = gate passes).  Rows are matched on

@@ -108,6 +108,16 @@ type event =
       gain : int;
       accepted : bool;
     }
+  | Race of {
+      t : float;
+      flow : string;
+      algo : string;  (* which racer: "cec", "fraig", "exact", ... *)
+      winner : string;
+      configs : (string * string * counters) list;
+          (* per worker: config name, result ("sat"/"unsat"/"unknown"),
+             kernel counters at finish or cancel time — losers included, so
+             the work a lost race burned stays visible *)
+    }
 
 type sink = {
   flow : string;  (* label stamped on every event; "" at the root *)
@@ -214,6 +224,17 @@ let metrics t ~algo ~counters ~gauges ~hists =
       Metrics { t = now s; flow = s.flow; algo; counters; gauges; hists }
       :: s.rev_events
 
+(* One portfolio race outcome (see satkit/portfolio.ml): who won, and what
+   every worker — including cancelled losers — had done when it stopped.
+   Building the [configs] payload walks the losers' solvers, so call sites
+   guard with [enabled]. *)
+let race t ~algo ~winner ~configs =
+  match t with
+  | Null -> ()
+  | Sink s ->
+    s.rev_events <-
+      Race { t = now s; flow = s.flow; algo; winner; configs } :: s.rev_events
+
 (* One sampled candidate decision.  The sampler is a deterministic
    counter, not a RNG: 1-in-n by arrival order, reproducible across
    runs. *)
@@ -294,6 +315,17 @@ let json_of_event = function
     Printf.sprintf
       "{\"event\":\"node\",\"t\":%.6f,\"flow\":\"%s\",\"algo\":\"%s\",\"node\":%d,\"gain\":%d,\"accepted\":%b}"
       t (escape flow) (escape algo) node gain accepted
+  | Race { t; flow; algo; winner; configs } ->
+    Printf.sprintf
+      "{\"event\":\"race\",\"t\":%.6f,\"flow\":\"%s\",\"algo\":\"%s\",\"winner\":\"%s\",\"configs\":[%s]}"
+      t (escape flow) (escape algo) (escape winner)
+      (String.concat ","
+         (List.map
+            (fun (name, result, counters) ->
+              Printf.sprintf
+                "{\"name\":\"%s\",\"result\":\"%s\",\"counters\":%s}"
+                (escape name) (escape result) (json_of_counters counters))
+            configs))
 
 let meta_line () =
   let cache =
@@ -330,11 +362,46 @@ type pass_row = {
   row_elapsed : float;
   row_gc : gc_delta;
   row_counters : (string * counters) list;  (* algo -> counters, in order *)
+  row_sat_conflicts : int;     (* SAT kernel work attributed to the span *)
+  row_sat_propagations : int;
+  row_races : (string * int) list;  (* race winner name -> wins, in order *)
 }
 
+(* SAT work inside a span comes from two disjoint sources: single-solver
+   call sites publish [solver_*] gauges through a metrics registry, and
+   portfolio races publish per-config counters on the race event itself
+   (the call sites emit one or the other, never both, so summing both here
+   never double-counts). *)
+let sat_of_gauges gauges =
+  let g k = Option.value ~default:0 (List.assoc_opt k gauges) in
+  (g "solver_conflicts", g "solver_propagations")
+
+let sat_of_race configs =
+  List.fold_left
+    (fun (c, p) (_, _, counters) ->
+      let g k = Option.value ~default:0 (List.assoc_opt k counters) in
+      (c + g "conflicts", p + g "propagations"))
+    (0, 0) configs
+
+let bump_winner races winner =
+  if List.mem_assoc winner races then
+    List.map (fun (w, n) -> if w = winner then (w, n + 1) else (w, n)) races
+  else races @ [ (winner, 1) ]
+
+(* SAT events from child sinks (partition workers, racing domains) carry
+   extended flow labels like ["opt/part3"] while the enclosing span lives
+   under the parent label: resolve to the nearest open ancestor span. *)
+let rec find_ancestor_span pending flow =
+  match Hashtbl.find_opt pending flow with
+  | Some _ as hit -> Option.map (fun row -> (flow, row)) hit
+  | None -> (
+    match String.rindex_opt flow '/' with
+    | Some i -> find_ancestor_span pending (String.sub flow 0 i)
+    | None -> if flow = "" then None else find_ancestor_span pending "")
+
 (* Pair begin/end events into rows.  Spans never nest within one flow, so a
-   single pending slot per flow label suffices; counter events attach to
-   the open span of their flow. *)
+   single pending slot per flow label suffices; counter, metrics and race
+   events attach to the open span of their flow. *)
 let summarize t : pass_row list =
   let pending : (string, pass_row) Hashtbl.t = Hashtbl.create 4 in
   let rows = ref [] in
@@ -353,6 +420,9 @@ let summarize t : pass_row list =
             row_elapsed = 0.0;
             row_gc = gc_zero;
             row_counters = [];
+            row_sat_conflicts = 0;
+            row_sat_propagations = 0;
+            row_races = [];
           }
       | Counters { flow; algo; counters; _ } -> (
         match Hashtbl.find_opt pending flow with
@@ -360,7 +430,31 @@ let summarize t : pass_row list =
           Hashtbl.replace pending flow
             { row with row_counters = row.row_counters @ [ (algo, counters) ] }
         | None -> ())
-      | Metrics _ | Node_event _ -> ()
+      | Metrics { flow; gauges; _ } -> (
+        match find_ancestor_span pending flow with
+        | Some (key, row) ->
+          let c, p = sat_of_gauges gauges in
+          if c <> 0 || p <> 0 then
+            Hashtbl.replace pending key
+              {
+                row with
+                row_sat_conflicts = row.row_sat_conflicts + c;
+                row_sat_propagations = row.row_sat_propagations + p;
+              }
+        | None -> ())
+      | Race { flow; winner; configs; _ } -> (
+        match find_ancestor_span pending flow with
+        | Some (key, row) ->
+          let c, p = sat_of_race configs in
+          Hashtbl.replace pending key
+            {
+              row with
+              row_sat_conflicts = row.row_sat_conflicts + c;
+              row_sat_propagations = row.row_sat_propagations + p;
+              row_races = bump_winner row.row_races winner;
+            }
+        | None -> ())
+      | Node_event _ -> ()
       | Pass_end { flow; gates; depth; elapsed; gc; _ } -> (
         match Hashtbl.find_opt pending flow with
         | Some row ->
@@ -389,34 +483,49 @@ let pp_counters fmt cs =
             ^ ")")
           cs))
 
+(* The SAT/race annotation appended to a row's counters column: nothing
+   when the pass did no SAT work, so pure-rewrite tables stay clean. *)
+let pp_sat fmt r =
+  if r.row_sat_conflicts <> 0 || r.row_sat_propagations <> 0 then
+    Format.fprintf fmt " sat(confl=%d,props=%d)" r.row_sat_conflicts
+      r.row_sat_propagations;
+  if r.row_races <> [] then
+    Format.fprintf fmt " race(%s)"
+      (String.concat ","
+         (List.map (fun (w, n) -> Printf.sprintf "%s=%d" w n) r.row_races))
+
 (* The per-pass table: one row per span plus a totals row; the [%] column
    is each pass's share of the summed wall time, so the table answers
    "where did the time go" without a calculator. *)
 let pp_summary fmt t =
   let rows = summarize t in
-  let total_elapsed =
-    List.fold_left (fun acc r -> acc +. r.row_elapsed) 0.0 rows
-  in
-  let pct e =
-    if total_elapsed <= 0.0 then 0.0 else 100.0 *. e /. total_elapsed
-  in
-  Format.fprintf fmt "%4s  %-16s %-10s | %7s %7s %5s | %5s %5s | %8s %5s  %s@."
-    "#" "flow" "pass" "gates" "->" "dG" "depth" "->" "time" "%" "counters";
-  List.iter
-    (fun r ->
-      Format.fprintf fmt
-        "%4d  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs %4.1f%%  %a@."
-        r.row_index r.row_flow r.row_pass r.gates_before r.gates_after
-        (r.gates_after - r.gates_before)
-        r.depth_before r.depth_after r.row_elapsed (pct r.row_elapsed)
-        pp_counters r.row_counters)
-    rows;
-  match (rows, List.rev rows) with
-  | first :: _, last :: _ ->
+  if rows = [] then Format.fprintf fmt "trace: no spans recorded@."
+  else begin
+    let total_elapsed =
+      List.fold_left (fun acc r -> acc +. r.row_elapsed) 0.0 rows
+    in
+    let pct e =
+      if total_elapsed <= 0.0 then 0.0 else 100.0 *. e /. total_elapsed
+    in
     Format.fprintf fmt
-      "%4s  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs %4.1f%%@."
-      "" "total" "" first.gates_before last.gates_after
-      (List.fold_left (fun a r -> a + (r.gates_after - r.gates_before)) 0 rows)
-      first.depth_before last.depth_after total_elapsed
-      (pct total_elapsed)
-  | _ -> ()
+      "%4s  %-16s %-10s | %7s %7s %5s | %5s %5s | %8s %5s  %s@."
+      "#" "flow" "pass" "gates" "->" "dG" "depth" "->" "time" "%" "counters";
+    List.iter
+      (fun r ->
+        Format.fprintf fmt
+          "%4d  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs %4.1f%%  %a%a@."
+          r.row_index r.row_flow r.row_pass r.gates_before r.gates_after
+          (r.gates_after - r.gates_before)
+          r.depth_before r.depth_after r.row_elapsed (pct r.row_elapsed)
+          pp_counters r.row_counters pp_sat r)
+      rows;
+    match (rows, List.rev rows) with
+    | first :: _, last :: _ ->
+      Format.fprintf fmt
+        "%4s  %-16s %-10s | %7d %7d %5d | %5d %5d | %7.3fs %4.1f%%@."
+        "" "total" "" first.gates_before last.gates_after
+        (List.fold_left (fun a r -> a + (r.gates_after - r.gates_before)) 0 rows)
+        first.depth_before last.depth_after total_elapsed
+        (pct total_elapsed)
+    | _ -> ()
+  end

@@ -24,6 +24,23 @@ type 'a outcome = {
       (* per-config kernel counters, winner first *)
 }
 
+let result_name = function
+  | Solver.Sat -> "sat"
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown -> "unknown"
+
+(* Per-config (name, result, counters) triples, winner first: what a race
+   trace event records.  Cancelled losers report the counters they had
+   reached when the stop hook fired, which is exactly the "lost race"
+   visibility the observability layer wants. *)
+let race_counters (o : 'a outcome) =
+  List.map
+    (fun (name, r) ->
+      ( name,
+        result_name r,
+        match List.assoc_opt name o.stats with Some s -> s | None -> [] ))
+    o.per_config
+
 (* Diversified roster: distinct restart policies, polarities and seeds so
    the workers explore different parts of the search space.  Index 0 is the
    plain default configuration — with [jobs = 1] the portfolio degenerates

@@ -23,6 +23,14 @@ val default_roster : int -> Solver.config list
 (** [default_roster n] is [n] diversified configurations; index 0 is
     {!Solver.default_config}. *)
 
+val result_name : Solver.result -> string
+(** ["sat"], ["unsat"] or ["unknown"] — the spelling race telemetry uses. *)
+
+val race_counters : 'a outcome -> (string * string * (string * int) list) list
+(** Per-config [(name, result, kernel counters)] triples, winner first —
+    the per-worker view (including losers cancelled mid-search) that race
+    trace events publish. *)
+
 val solve :
   ?jobs:int ->
   ?configs:Solver.config list ->

@@ -14,6 +14,7 @@ let () =
       ("run_config", Test_run_config.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
+      ("telemetry", Test_telemetry.suite);
       ("capabilities", Test_capabilities.suite);
       ("extensions", Test_extensions.suite);
       ("equiv", Test_equiv.suite);

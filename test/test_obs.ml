@@ -26,7 +26,7 @@ let span_events trace =
     (function
       | T.Pass_begin { pass; index; _ } -> Some ("pass_begin", pass, index)
       | T.Pass_end { pass; index; _ } -> Some ("pass_end", pass, index)
-      | T.Counters _ | T.Metrics _ | T.Node_event _ -> None)
+      | T.Counters _ | T.Metrics _ | T.Node_event _ | T.Race _ -> None)
     (T.events trace)
 
 let test_null_sink () =
@@ -58,14 +58,16 @@ let timestamp = function
   | T.Pass_end { t; _ }
   | T.Counters { t; _ }
   | T.Metrics { t; _ }
-  | T.Node_event { t; _ } -> t
+  | T.Node_event { t; _ }
+  | T.Race { t; _ } -> t
 
 let flow_of = function
   | T.Pass_begin { flow; _ }
   | T.Pass_end { flow; _ }
   | T.Counters { flow; _ }
   | T.Metrics { flow; _ }
-  | T.Node_event { flow; _ } -> flow
+  | T.Node_event { flow; _ }
+  | T.Race { flow; _ } -> flow
 
 let test_monotonic_timestamps () =
   let _, _, trace = traced_run () in
