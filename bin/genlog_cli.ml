@@ -144,27 +144,110 @@ let kernel_arg =
               $(b,legacy) (pre-modernization baseline). Equivalent to \
               setting GENLOG_SAT_KERNEL.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt float base_cfg.RC.timeout
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget per input network (0 disables). On expiry \
+              the engine stops at the next pass boundary and returns the \
+              best checkpointed network so far, marked degraded; the \
+              process exits 4 instead of 0. Equivalent to GENLOG_TIMEOUT.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int base_cfg.RC.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Extra attempts for a failed batch file or partition job \
+              before it is reported as failed (default 0). Equivalent to \
+              GENLOG_RETRIES.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) base_cfg.RC.faults
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"Deterministic fault injection for robustness testing: \
+              $(i,point:rate[:max]) entries separated by commas, e.g. \
+              $(b,parmap.job:0.5,sat.solve:1:2). Equivalent to \
+              GENLOG_FAULTS; seeded by GENLOG_FAULT_SEED.")
+
+(* SIGINT/SIGTERM wind-down: the handler only sets a flag; the engine's
+   stop hooks and the batch pool notice it at the next pass / item
+   boundary, the epilogue still flushes the store and finalizes the
+   trace, and the process exits 128+signum. *)
+let interrupted = Atomic.make 0
+let stop_requested () = Atomic.get interrupted <> 0
+
+let install_signal_handlers () =
+  let handle signum code =
+    try Sys.set_signal signum (Sys.Signal_handle (fun _ -> Atomic.set interrupted code))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  handle Sys.sigint 130;
+  handle Sys.sigterm 143
+
 (* One code path for all four representations: run the whole-network script
    engine, or the partition-parallel engine when a partition size is set.
    The exact-synthesis database is domain-safe, so a single [env] is shared
    by every worker. *)
 let optimize_network (type t)
     (module N : Genlog.Intf.NETWORK with type t = t) env ~(cfg : RC.t) ~trace
-    (net : t) : t =
+    (net : t) : t * Genlog.Flow.degradation list =
   if cfg.RC.partition > 0 then begin
     let module P = Genlog.Flow.Partition.Make (N) in
     let r, st = P.run_with ~trace ~config:cfg ~make_env:(fun () -> env) net in
     Printf.eprintf
       "partition: %d pieces, %d accepted, %d rejected (cost), %d rejected \
-       (cex), %d sim mismatches, jobs = %d\n\
+       (cex), %d failed, %d degraded, %d sim mismatches, jobs = %d%s\n\
        %!"
       st.P.partitions st.P.accepted st.P.rejected_cost st.P.rejected_cex
-      st.P.sim_mismatches st.P.jobs;
-    r
+      st.P.failed st.P.degraded_pieces st.P.sim_mismatches st.P.jobs
+      (if st.P.stitch_fallbacks > 0 then
+         Printf.sprintf " (stitch fallback level %d)" st.P.stitch_fallbacks
+       else "");
+    let degs = ref [] in
+    if st.P.stitch_fallbacks > 0 then
+      degs :=
+        {
+          Genlog.Flow.d_pass = "partition-stitch";
+          d_reason = "exception";
+          d_detail =
+            Printf.sprintf "stitch fallback level %d" st.P.stitch_fallbacks;
+        }
+        :: !degs;
+    if st.P.failed > 0 then
+      degs :=
+        {
+          Genlog.Flow.d_pass = "partition-opt";
+          d_reason = "exception";
+          d_detail =
+            Printf.sprintf "%d piece job(s) failed; original cones kept"
+              st.P.failed;
+        }
+        :: !degs;
+    if st.P.degraded_pieces > st.P.failed then
+      degs :=
+        {
+          Genlog.Flow.d_pass = "partition-opt";
+          d_reason = "degraded";
+          d_detail =
+            Printf.sprintf "%d piece(s) returned best-so-far"
+              (st.P.degraded_pieces - st.P.failed);
+        }
+        :: !degs;
+    (r, !degs)
   end
-  else
+  else begin
     let module F = Genlog.Flow.Make (N) in
-    F.run_script env ~trace net cfg.RC.script
+    let deadline =
+      if cfg.RC.timeout > 0. then Unix.gettimeofday () +. cfg.RC.timeout
+      else 0.
+    in
+    F.run_script_safe env ~trace ~deadline ~stop:stop_requested net
+      cfg.RC.script
+  end
 
 let opt_cmd =
   let files =
@@ -183,7 +266,7 @@ let opt_cmd =
                 $(i,FILE).opt.aag next to each input).")
   in
   let run files rep script output trace_file stats sample partition jobs
-      sat_jobs cache kernel =
+      sat_jobs cache kernel timeout retries faults =
     let representation =
       match rep with
       | `Aig -> RC.Aig
@@ -193,9 +276,20 @@ let opt_cmd =
     in
     let cfg =
       RC.make ~representation ~script ?trace_path:trace_file ~stats ~sample
-        ~partition ~jobs ~sat_jobs ~budget:base_cfg.RC.budget ~kernel ?cache ()
+        ~partition ~jobs ~sat_jobs ~budget:base_cfg.RC.budget ~kernel ?cache
+        ~timeout ~retries ?faults ()
     in
     RC.publish_kernel cfg;
+    (match cfg.RC.faults with
+    | None -> ()
+    | Some spec -> (
+      match Genlog.Fault.configure spec with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "opt: bad --faults spec: %s\n" msg;
+        exit 2));
+    Printexc.record_backtrace true;
+    install_signal_handlers ();
     let rep_name = RC.representation_to_string representation in
     let trace =
       if cfg.RC.trace_path <> None || cfg.RC.stats then
@@ -203,53 +297,61 @@ let opt_cmd =
       else Genlog.Trace.null
     in
     let env = Genlog.Flow.env_of_config cfg in
-    (* per-representation processing function: AIG in, optimized AIG out *)
-    let process : Genlog.Trace.t -> Aig.t -> Aig.t =
+    (* per-representation processing function: AIG in, optimized AIG out,
+       plus whatever degradation markers the engine recorded *)
+    let process : Genlog.Trace.t -> Aig.t -> Aig.t * Genlog.Flow.degradation list
+        =
       match representation with
       | RC.Aig ->
         fun tr t ->
-          let r = optimize_network (module Aig) env ~cfg ~trace:tr t in
+          let r, degs = optimize_network (module Aig) env ~cfg ~trace:tr t in
           Printf.eprintf "aig: gates = %d depth = %d\n%!" (Aig.num_gates r)
             (D.depth r);
-          r
+          (r, degs)
       | RC.Mig ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Mig) in
         let module Cb = Genlog.Convert.Make (Genlog.Mig) (Aig) in
         let module Dm = Genlog.Depth.Make (Genlog.Mig) in
         fun tr t ->
-          let r =
+          let r, degs =
             optimize_network (module Genlog.Mig) env ~cfg ~trace:tr (C.convert t)
           in
           Printf.eprintf "mig: gates = %d depth = %d (written back as AIG)\n%!"
             (Genlog.Mig.num_gates r) (Dm.depth r);
-          Cb.convert r
+          (Cb.convert r, degs)
       | RC.Xag ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Xag) in
         let module Cb = Genlog.Convert.Make (Genlog.Xag) (Aig) in
         let module Dx = Genlog.Depth.Make (Genlog.Xag) in
         fun tr t ->
-          let r =
+          let r, degs =
             optimize_network (module Genlog.Xag) env ~cfg ~trace:tr (C.convert t)
           in
           Printf.eprintf "xag: gates = %d depth = %d (written back as AIG)\n%!"
             (Genlog.Xag.num_gates r) (Dx.depth r);
-          Cb.convert r
+          (Cb.convert r, degs)
       | RC.Xmg ->
         let module C = Genlog.Convert.Make (Aig) (Genlog.Xmg) in
         let module Cb = Genlog.Convert.Make (Genlog.Xmg) (Aig) in
         let module Dx = Genlog.Depth.Make (Genlog.Xmg) in
         fun tr t ->
-          let r =
+          let r, degs =
             optimize_network (module Genlog.Xmg) env ~cfg ~trace:tr (C.convert t)
           in
           Printf.eprintf "xmg: gates = %d depth = %d (written back as AIG)\n%!"
             (Genlog.Xmg.num_gates r) (Dx.depth r);
-          Cb.convert r
+          (Cb.convert r, degs)
     in
     let optimize_one (file, tr) =
       let t = read_aig file in
       Printf.eprintf "%s: %s\n%!" file (stats_of_aig t);
-      process tr t
+      let r, degs = process tr t in
+      List.iter
+        (fun d ->
+          Printf.eprintf "%s: DEGRADED %s (%s): %s\n%!" file
+            d.Genlog.Flow.d_pass d.Genlog.Flow.d_reason d.Genlog.Flow.d_detail)
+        degs;
+      (r, degs)
     in
     let many = List.length files > 1 in
     (* child trace sinks are created up front on this domain; each batch
@@ -262,67 +364,141 @@ let opt_cmd =
             else trace ))
         files
     in
-    let results =
-      if many && cfg.RC.partition = 0 && cfg.RC.jobs > 1 then begin
-        (* batch parallelism across files on the Parmap pool; the shared
-           database means an NPN class is synthesized once per batch, not
-           once per file *)
-        let arr = Array.of_list items in
+    let n_files = List.length files in
+    let results :
+        (Aig.t * Genlog.Flow.degradation list, Genlog.Flow.Parmap.job_error)
+        result
+        array
+        ref =
+      ref [||]
+    in
+    (* Everything that must survive a job failure or an interrupt lives in
+       the [finally]: the store flush (so paid-for exact synthesis results
+       persist), the trace write-out, and the stats.  The body only
+       computes results and writes outputs. *)
+    let epilogue () =
+      if many then Genlog.Trace.merge trace (List.map snd items);
+      (* one store flush for the whole batch *)
+      Genlog.Database.flush env.Genlog.Flow.db;
+      (match cfg.RC.cache with
+      | Some path ->
+        let db = env.Genlog.Flow.db in
+        let si = Genlog.Database.store_info db in
+        Printf.eprintf
+          "cache %s: %d classes (%d loaded, %d skipped, %d appended), %d \
+           hits, %d misses\n\
+           %!"
+          path (Genlog.Database.size db) si.Genlog.Database.loaded
+          si.Genlog.Database.skipped si.Genlog.Database.flushed
+          (Genlog.Database.hits db)
+          (Genlog.Database.misses db);
+        Genlog.Runmeta.set_cache (Genlog.Database.obs_gauges db)
+      | None -> ());
+      Genlog.Flow.emit_db_metrics env trace;
+      (if Genlog.Fault.active () then
+         let counters =
+           List.concat_map
+             (fun (point, draws, fires) ->
+               [ (point ^ ".draws", draws); (point ^ ".fired", fires) ])
+             (Genlog.Fault.counts ())
+         in
+         if counters <> [] then
+           Genlog.Trace.report trace ~algo:"faults" counters);
+      (match cfg.RC.trace_path with
+      | Some path -> Genlog.Trace.write_file trace path
+      | None -> ());
+      if cfg.RC.stats then Format.eprintf "%a%!" Genlog.Trace.pp_summary trace
+    in
+    Fun.protect ~finally:epilogue (fun () ->
+        (* outer batch parallelism only when partition keeps the inner
+           pool idle; a single file still goes through the pool so the
+           isolation / retry / cancellation semantics are uniform *)
+        let outer_jobs =
+          if many && cfg.RC.partition = 0 && cfg.RC.jobs > 1 then cfg.RC.jobs
+          else 1
+        in
         let res, _ =
-          Genlog.Flow.Parmap.map ~jobs:cfg.RC.jobs
+          Genlog.Flow.Parmap.map_results ~jobs:outer_jobs
+            ~retries:cfg.RC.retries ~stop:stop_requested
             ~init:(fun _ -> ())
             ~f:(fun () item -> optimize_one item)
-            arr
+            (Array.of_list items)
         in
-        Array.to_list res
-      end
-      else List.map optimize_one items
-    in
-    if many then Genlog.Trace.merge trace (List.map snd items);
-    (* one store flush for the whole batch *)
-    Genlog.Database.flush env.Genlog.Flow.db;
-    (match cfg.RC.cache with
-    | Some path ->
-      let db = env.Genlog.Flow.db in
-      let si = Genlog.Database.store_info db in
-      Printf.eprintf
-        "cache %s: %d classes (%d loaded, %d skipped, %d appended), %d hits, \
-         %d misses\n\
-         %!"
-        path (Genlog.Database.size db) si.Genlog.Database.loaded
-        si.Genlog.Database.skipped si.Genlog.Database.flushed
-        (Genlog.Database.hits db)
-        (Genlog.Database.misses db);
-      Genlog.Runmeta.set_cache (Genlog.Database.obs_gauges db)
-    | None -> ());
-    Genlog.Flow.emit_db_metrics env trace;
-    (match cfg.RC.trace_path with
-    | Some path -> Genlog.Trace.write_file trace path
-    | None -> ());
-    if cfg.RC.stats then Format.eprintf "%a%!" Genlog.Trace.pp_summary trace;
-    match (files, results, output) with
-    | [ _ ], [ r ], None -> Genlog.Aiger.write r stdout
-    | [ _ ], [ r ], Some path -> Genlog.Aiger.write_file r path
-    | _ ->
-      let dest file =
-        match output with
-        | None -> file ^ ".opt.aag"
-        | Some dir ->
-          if Sys.file_exists dir then begin
-            if not (Sys.is_directory dir) then begin
-              Printf.eprintf "opt: %s exists and is not a directory\n" dir;
-              exit 2
-            end
+        results := res;
+        (* write what succeeded; failed inputs are reported below *)
+        match (files, output) with
+        | [ _ ], None -> (
+          match res.(0) with
+          | Ok (r, _) -> Genlog.Aiger.write r stdout
+          | Error _ -> ())
+        | [ _ ], Some path -> (
+          match res.(0) with
+          | Ok (r, _) -> Genlog.Aiger.write_file r path
+          | Error _ -> ())
+        | _ ->
+          let dest file =
+            match output with
+            | None -> file ^ ".opt.aag"
+            | Some dir ->
+              if Sys.file_exists dir then begin
+                if not (Sys.is_directory dir) then begin
+                  Printf.eprintf "opt: %s exists and is not a directory\n" dir;
+                  exit 2
+                end
+              end
+              else Unix.mkdir dir 0o755;
+              Filename.concat dir (Filename.basename file)
+          in
+          List.iteri
+            (fun i file ->
+              match res.(i) with
+              | Ok (r, _) ->
+                let path = dest file in
+                Genlog.Aiger.write_file r path;
+                Printf.eprintf "%s -> %s\n%!" file path
+              | Error _ -> ())
+            files);
+    let res = !results in
+    let n_ok = ref 0 and n_failed = ref 0 and n_cancelled = ref 0 in
+    let n_degraded = ref 0 in
+    Array.iteri
+      (fun i result ->
+        match result with
+        | Ok (_, degs) ->
+          incr n_ok;
+          if degs <> [] then incr n_degraded
+        | Error (e : Genlog.Flow.Parmap.job_error) ->
+          let file = List.nth files i in
+          if e.err_exn = Genlog.Flow.Parmap.Cancelled then begin
+            incr n_cancelled;
+            Printf.eprintf "opt: %s: skipped (interrupted)\n%!" file
           end
-          else Unix.mkdir dir 0o755;
-          Filename.concat dir (Filename.basename file)
-      in
-      List.iter2
-        (fun file r ->
-          let path = dest file in
-          Genlog.Aiger.write_file r path;
-          Printf.eprintf "%s -> %s\n%!" file path)
-        files results
+          else begin
+            incr n_failed;
+            Printf.eprintf "opt: %s: FAILED after %d attempt(s): %s\n%!" file
+              e.err_attempts
+              (Printexc.to_string e.err_exn);
+            let bt = Printexc.raw_backtrace_to_string e.err_backtrace in
+            if String.trim bt <> "" then Printf.eprintf "%s%!" bt
+          end)
+      res;
+    if many then
+      Printf.eprintf "opt: %d/%d optimized, %d failed, %d degraded%s\n%!"
+        !n_ok n_files !n_failed !n_degraded
+        (if !n_cancelled > 0 then
+           Printf.sprintf ", %d cancelled" !n_cancelled
+         else "");
+    (* exit codes: 0 ok, 1 everything failed, 3 partial batch failure,
+       4 clean but degraded output, 128+signum on interrupt (after the
+       epilogue flushed the store and finalized the trace) *)
+    let code =
+      if Atomic.get interrupted <> 0 then Atomic.get interrupted
+      else if !n_ok = 0 && !n_failed > 0 then 1
+      else if !n_failed > 0 then 3
+      else if !n_degraded > 0 then 4
+      else 0
+    in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "opt"
@@ -330,7 +506,7 @@ let opt_cmd =
              several FILEs to amortize exact synthesis across them)")
     Term.(const run $ files $ representation $ script_arg $ output $ trace_arg
           $ stats_flag $ sample_arg $ partition_arg $ jobs_arg $ sat_jobs_arg
-          $ cache_arg $ kernel_arg)
+          $ cache_arg $ kernel_arg $ timeout_arg $ retries_arg $ faults_arg)
 
 (* -- map -- *)
 

@@ -154,9 +154,20 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
      worker) instead of climbing the ladder sequentially; [config] selects
      the kernel for single-job solving (default: {!Satkit.Solver.env_config},
      i.e. the GENLOG_SAT_KERNEL toggle).  [trace] publishes the kernel's
-     counters (and, racing, the per-config outcome) into the sink. *)
+     counters (and, racing, the per-config outcome) into the sink.
+
+     [wall_timeout] > 0 caps the whole check in wall-clock seconds on top
+     of the conflict ladder; on expiry the answer is [Unknown] (never a
+     wrong answer), so deadline-bound flows keep their guards.
+
+     A check never raises: if the kernel itself throws (a solver bug, or
+     an injected [sat.solve] fault), the miter is re-encoded once on the
+     legacy kernel; if that also fails, the answer is [Unknown] with
+     winner ["anomaly"].  Correctness guards built on CEC treat both the
+     same way they treat a budget exhaustion. *)
   let check_full ?(trace = Obs.Trace.null) ?(conflict_budget = 0) ?ladder
-      ?(jobs = 1) ?config (a : A.t) (b : B.t) : result * report =
+      ?(jobs = 1) ?config ?(wall_timeout = 0.) (a : A.t) (b : B.t) :
+      result * report =
     let mismatch = A.num_pis a <> B.num_pis b || A.num_pos a <> B.num_pos b in
     if mismatch then
       (Counterexample [||], { winner = "shape"; conflicts = 0; rungs_used = 0 })
@@ -168,6 +179,10 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
         if conflict_budget > 0 then [ conflict_budget ]
         else match ladder with Some l -> l | None -> default_ladder
       in
+      let deadline =
+        if wall_timeout > 0. then Unix.gettimeofday () +. wall_timeout else 0.
+      in
+      let expired () = deadline > 0. && Unix.gettimeofday () >= deadline in
       let decode solver pi_vars = function
         | Satkit.Solver.Unsat -> Equivalent
         | Satkit.Solver.Unknown -> Unknown
@@ -175,18 +190,22 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
           Counterexample
             (Array.map (fun v -> Satkit.Solver.model_value solver v) pi_vars)
       in
-      if jobs <= 1 then begin
+      let single config =
         let solver = Satkit.Solver.create ~config () in
         let pi_vars = encode_miter a b solver in
         let rec climb used = function
           | [] ->
             (* an empty ladder means one unbounded attempt *)
             if used = 0 then
-              (decode solver pi_vars (Satkit.Solver.solve solver), used + 1)
+              ( decode solver pi_vars (Satkit.Solver.solve ~deadline solver),
+                used + 1 )
             else (Unknown, used)
           | budget :: rest -> (
-            match Satkit.Solver.solve ~conflict_budget:budget solver with
-            | Satkit.Solver.Unknown -> climb (used + 1) rest
+            match
+              Satkit.Solver.solve ~conflict_budget:budget ~deadline solver
+            with
+            | Satkit.Solver.Unknown ->
+              if expired () then (Unknown, used + 1) else climb (used + 1) rest
             | r -> (decode solver pi_vars r, used + 1))
         in
         let r, used = climb 0 rungs in
@@ -199,12 +218,12 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
         in
         publish_solver trace solver rep;
         (r, rep)
-      end
-      else begin
+      in
+      let race () =
         (* portfolio race: each worker gets the whole ladder as one budget *)
         let total = List.fold_left ( + ) 0 rungs in
         let o =
-          Satkit.Portfolio.solve ~jobs ~conflict_budget:total
+          Satkit.Portfolio.solve ~jobs ~conflict_budget:total ~deadline
             ~build:(fun s -> encode_miter a b s)
             ()
         in
@@ -218,10 +237,30 @@ module Make (A : Network.Intf.TRAVERSABLE) (B : Network.Intf.TRAVERSABLE) = stru
             conflicts = Satkit.Solver.num_conflicts o.Satkit.Portfolio.solver;
             rungs_used = 1;
           } )
-      end
+      in
+      let anomaly e =
+        Printf.eprintf "cec: solver anomaly (%s); answering UNKNOWN\n%!"
+          (Printexc.to_string e);
+        (Unknown, { winner = "anomaly"; conflicts = 0; rungs_used = 0 })
+      in
+      let attempt = if jobs <= 1 then fun () -> single config else race in
+      match attempt () with
+      | r -> r
+      | exception e ->
+        let legacy = Satkit.Solver.legacy_config in
+        if jobs <= 1 && config.Satkit.Solver.name = legacy.Satkit.Solver.name
+        then anomaly e
+        else begin
+          Printf.eprintf
+            "cec: solver anomaly (%s); retrying on the %s kernel\n%!"
+            (Printexc.to_string e) legacy.Satkit.Solver.name;
+          match single legacy with r -> r | exception e2 -> anomaly e2
+        end
     end
 
-  let check ?trace ?conflict_budget ?ladder ?jobs ?config (a : A.t) (b : B.t) :
-      result =
-    fst (check_full ?trace ?conflict_budget ?ladder ?jobs ?config a b)
+  let check ?trace ?conflict_budget ?ladder ?jobs ?config ?wall_timeout
+      (a : A.t) (b : B.t) : result =
+    fst
+      (check_full ?trace ?conflict_budget ?ladder ?jobs ?config ?wall_timeout a
+         b)
 end

@@ -102,6 +102,7 @@ module Html = Obs.Html
 (* flows *)
 module Script = Flow.Script
 module Run_config = Flow.Run_config
+module Fault = Flow.Fault
 module Flow = struct
   include Flow.Engine
 
@@ -110,4 +111,5 @@ module Flow = struct
   module Specialized_aig = Flow.Specialized_aig
   module Partition = Flow.Partition
   module Parmap = Flow.Parmap
+  module Fault = Flow.Fault
 end

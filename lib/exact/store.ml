@@ -353,7 +353,22 @@ let append ~config path entries =
           Fun.protect
             ~finally:(fun () -> Unix.close fd)
             (fun () ->
-              List.iter (fun e -> write_all fd (frame (encode e))) entries);
+              (* [store.append] fault point: simulate a crash mid-write by
+                 emitting half of one frame and stopping — exactly the torn
+                 tail that [load] is built to skip *)
+              let torn = ref false in
+              List.iter
+                (fun e ->
+                  if not !torn then begin
+                    let fr = frame (encode e) in
+                    if Fault_core.active () && Fault_core.hit "store.append"
+                    then begin
+                      write_all fd (String.sub fr 0 (String.length fr / 2));
+                      torn := true
+                    end
+                    else write_all fd fr
+                  end)
+                entries);
           true))
   end
 
@@ -373,4 +388,9 @@ let compact ~config path entries =
      (try Unix.close fd with Unix.Unix_error _ -> ());
      (try Sys.remove tmp with Sys_error _ -> ());
      raise exn);
-  Unix.rename tmp path
+  (* [store.compact] fault point: simulate a crash after the temp file is
+     durable but before the rename commits — the original store must
+     survive untouched (which is the whole point of tmp+fsync+rename) *)
+  if Fault_core.active () && Fault_core.hit "store.compact" then
+    try Sys.remove tmp with Sys_error _ -> ()
+  else Unix.rename tmp path

@@ -101,7 +101,17 @@ type stats = {
   levels : int;
 }
 
+(* One graceful-degradation record from a defensive script run: which
+   pass gave up and why.  Reasons are a small closed vocabulary so
+   consumers (exit codes, dashboards) can switch on them:
+   "deadline" (wall-clock budget expired before/inside the pass),
+   "exception" (the pass raised; the network was rolled back to the last
+   checkpoint), "interrupt" (the caller's [stop] hook asked to wind
+   down). *)
+type degradation = { d_pass : string; d_reason : string; d_detail : string }
+
 module Make (N : Network.Intf.NETWORK) = struct
+  module Copy = Network.Convert.Make (N) (N)
   module Bal = Algo.Balance.Make (N)
   module Rw = Algo.Rewrite.Make (N)
   module Rf = Algo.Refactor.Make (N)
@@ -114,6 +124,7 @@ module Make (N : Network.Intf.NETWORK) = struct
     { nodes = N.num_gates net; levels = Dp.depth net }
 
   let dispatch (env : env) ~trace (net : N.t) (cmd : Script.command) : unit =
+    if Fault.active () then Fault.fire "engine.pass";
     match cmd with
     | Script.Balance -> ignore (Bal.run ~trace net)
     | Script.Rewrite { zero_gain } ->
@@ -152,16 +163,11 @@ module Make (N : Network.Intf.NETWORK) = struct
         ~elapsed ()
     end
 
-  (* Run a script in place; returns a cleaned-up copy (dangling nodes
-     swept).  The final sweep is traced as its own "cleanup" span so the
-     last [pass_end] reports the stats of the network actually returned. *)
-  let run_script (env : env) ?(trace = Obs.Trace.null) (net : N.t)
-      (script : string) : N.t =
-    let commands = Script.parse script in
-    List.iteri (fun i cmd -> run_command env ~trace ~index:i net cmd) commands;
+  (* The final sweep, traced as its own "cleanup" span so the last
+     [pass_end] reports the stats of the network actually returned. *)
+  let cleanup_pass (env : env) ~trace ~index (net : N.t) : N.t =
     if not (Obs.Trace.enabled trace) then Cl.cleanup net
     else begin
-      let index = List.length commands in
       let { nodes; levels } = network_stats net in
       let t0 = Unix.gettimeofday () in
       let g0 = Gc.quick_stat () in
@@ -176,6 +182,86 @@ module Make (N : Network.Intf.NETWORK) = struct
       emit_db_metrics env trace;
       cleaned
     end
+
+  (* Run a script in place; returns a cleaned-up copy (dangling nodes
+     swept).  Raises if a pass raises — callers that need a result no
+     matter what use [run_script_safe]. *)
+  let run_script (env : env) ?(trace = Obs.Trace.null) (net : N.t)
+      (script : string) : N.t =
+    let commands = Script.parse script in
+    List.iteri (fun i cmd -> run_command env ~trace ~index:i net cmd) commands;
+    cleanup_pass env ~trace ~index:(List.length commands) net
+
+  (* Defensive script run: same passes as [run_script], but the engine
+     checkpoints the best-cost network after every pass and *always*
+     returns a valid network.
+
+     - Before each pass the [deadline] (absolute wall clock, 0 = none)
+       and the [stop] hook are checked; tripping either ends the run at
+       the last checkpoint with a "deadline"/"interrupt" marker.
+     - A pass that raises is rolled back: the in-place network may be
+       mid-rewrite, so work resumes from a copy of the checkpoint, and an
+       "exception" marker records the pass.  Later passes still run.
+     - Cost is (gates, depth) lexicographic, [<=] so zero-gain passes
+       (rwz/rfz) keep their semantics of refreshing the checkpoint.
+
+     The degradation list is empty iff the run behaved exactly like
+     [run_script].  Each marker is also emitted as a trace event plus an
+     "engine" metrics counter, so offline consumers see degraded runs
+     without the caller's help. *)
+  let run_script_safe (env : env) ?(trace = Obs.Trace.null) ?(deadline = 0.)
+      ?stop (net : N.t) (script : string) : N.t * degradation list =
+    let commands = Script.parse script in
+    let degradations = ref [] in
+    let note pass reason detail =
+      degradations :=
+        { d_pass = pass; d_reason = reason; d_detail = detail }
+        :: !degradations;
+      Obs.Trace.degraded trace ~pass ~reason ~detail
+    in
+    let cost (n : N.t) = (N.num_gates n, Dp.depth n) in
+    let best = ref (Copy.convert net) in
+    let best_cost = ref (cost net) in
+    let work = ref net in
+    let stopped = ref false in
+    List.iteri
+      (fun i cmd ->
+        if not !stopped then begin
+          let pass = Script.to_string cmd in
+          if (match stop with Some p -> p () | None -> false) then begin
+            note pass "interrupt" "stop requested; returning best-so-far";
+            stopped := true
+          end
+          else if deadline > 0. && Unix.gettimeofday () >= deadline then begin
+            note pass "deadline"
+              "wall-clock budget exhausted; returning best-so-far";
+            stopped := true
+          end
+          else
+            match run_command env ~trace ~index:i !work cmd with
+            | () ->
+              let c = cost !work in
+              if c <= !best_cost then begin
+                best := Copy.convert !work;
+                best_cost := c
+              end
+            | exception e ->
+              note pass "exception" (Printexc.to_string e);
+              (* the in-place network may be mid-rewrite: resume from a
+                 fresh copy of the last good checkpoint *)
+              work := Copy.convert !best
+        end)
+      commands;
+    let degradations = List.rev !degradations in
+    if degradations <> [] && Obs.Trace.enabled trace then begin
+      let m = Obs.Metrics.create ~algo:"engine" () in
+      Obs.Metrics.add
+        (Obs.Metrics.counter m "degraded")
+        (List.length degradations);
+      Obs.Metrics.emit m trace
+    end;
+    let result = if degradations = [] then !work else !best in
+    (cleanup_pass env ~trace ~index:(List.length commands) result, degradations)
 
   let compress2rs ?trace env net = run_script env ?trace net Script.compress2rs
 end

@@ -15,30 +15,85 @@
    can merge trace children deterministically (join order, like the
    portfolio does).
 
-   The first exception raised by any job is re-raised on the calling
-   domain after all workers have drained; remaining workers stop stealing
-   once a failure is recorded. *)
+   Failure model: [map_results] isolates jobs — every item yields either
+   [Ok result] or [Error {index; attempts; exn; backtrace}], one bad item
+   never cancels the others, and transient failures get [retries] extra
+   attempts.  [map] keeps the historic fail-the-batch contract on top of
+   it, but re-raises as {!Job_failed} so the caller learns *which* item
+   failed (and the original backtrace survives). *)
 
-let map (type s a b) ?(jobs = Domain.recommended_domain_count ())
-    ~(init : int -> s) ~(f : s -> a -> b) (items : a array) : b array * s array
-    =
+type job_error = {
+  err_index : int;  (* which item failed *)
+  err_attempts : int;  (* attempts made (retries + 1), 0 when cancelled *)
+  err_exn : exn;  (* the last attempt's exception *)
+  err_backtrace : Printexc.raw_backtrace;
+}
+
+exception Job_failed of int * exn
+exception Cancelled
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed (i, e) ->
+        Some (Printf.sprintf "Parmap.Job_failed(%d, %s)" i (Printexc.to_string e))
+    | Cancelled -> Some "Parmap.Cancelled"
+    | _ -> None)
+
+(* Per-item isolation: [stop] is polled before each steal — once it
+   returns [true] (a SIGINT flag, typically) the remaining unclaimed
+   items are marked [Cancelled] instead of run, so the caller can report
+   exactly which work was skipped.  The [parmap.job] fault point fires
+   inside the per-item protection and is therefore subject to retry like
+   any real failure. *)
+let map_results (type s a b) ?(jobs = Domain.recommended_domain_count ())
+    ?(retries = 0) ?stop ~(init : int -> s) ~(f : s -> a -> b)
+    (items : a array) : (b, job_error) result array * s array =
   let n = Array.length items in
   let jobs = max 1 (min jobs (max 1 n)) in
-  let results : b option array = Array.make n None in
+  let results : (b, job_error) result option array = Array.make n None in
   let states : s option array = Array.make jobs None in
   let cursor = Atomic.make 0 in
-  let failure : exn option Atomic.t = Atomic.make None in
   let worker k () =
     let state = init k in
     states.(k) <- Some state;
     let rec steal () =
-      if Atomic.get failure = None then begin
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          (try results.(i) <- Some (f state items.(i))
-           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
-          steal ()
-        end
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < n then begin
+        let cancelled = match stop with Some p -> p () | None -> false in
+        if cancelled then
+          results.(i) <-
+            Some
+              (Error
+                 {
+                   err_index = i;
+                   err_attempts = 0;
+                   err_exn = Cancelled;
+                   err_backtrace = Printexc.get_callstack 0;
+                 })
+        else begin
+          let rec attempt a =
+            match
+              if Fault.active () then Fault.fire "parmap.job";
+              f state items.(i)
+            with
+            | r -> results.(i) <- Some (Ok r)
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              if a <= retries then attempt (a + 1)
+              else
+                results.(i) <-
+                  Some
+                    (Error
+                       {
+                         err_index = i;
+                         err_attempts = a;
+                         err_exn = e;
+                         err_backtrace = bt;
+                       })
+          in
+          attempt 1
+        end;
+        steal ()
       end
     in
     steal ()
@@ -46,6 +101,21 @@ let map (type s a b) ?(jobs = Domain.recommended_domain_count ())
   let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
   worker 0 ();
   List.iter Domain.join domains;
-  (match Atomic.get failure with Some e -> raise e | None -> ());
   let get = function Some r -> r | None -> assert false in
   (Array.map get results, Array.map get states)
+
+let map (type s a b) ?jobs ~(init : int -> s) ~(f : s -> a -> b)
+    (items : a array) : b array * s array =
+  let results, states = map_results ?jobs ~init ~f items in
+  let out =
+    Array.map
+      (function
+        | Ok r -> r
+        | Error e ->
+          (* lowest failing index wins: deterministic, and names the item *)
+          Printexc.raise_with_backtrace
+            (Job_failed (e.err_index, e.err_exn))
+            e.err_backtrace)
+      results
+  in
+  (out, states)

@@ -194,7 +194,11 @@ module Make (N : Network.Intf.NETWORK) = struct
 
   (* -- per-partition optimization with the equivalence guard -- *)
 
-  type verdict = Accepted | Rejected_cost | Rejected_cex
+  type verdict =
+    | Accepted
+    | Rejected_cost
+    | Rejected_cex
+    | Failed  (* the job raised even after retries: original cone kept *)
 
   type piece_result = {
     part : partition;
@@ -204,13 +208,15 @@ module Make (N : Network.Intf.NETWORK) = struct
     gates_after : int;
     sim_mismatch : bool;
     cec_checked : bool;
+    degraded : bool;  (* the piece's script run degraded (deadline/rollback) *)
     seconds : float;
   }
 
   type worker_state = { env : Engine.env; wtrace : Obs.Trace.t }
 
   let optimize_piece (st : worker_state) ~script ~sim_vars ~sim_rounds
-      ~cec_conflict_budget (net : N.t) (p : partition) : piece_result =
+      ~cec_conflict_budget ~deadline (net : N.t) (p : partition) :
+      piece_result =
     let trace = st.wtrace in
     let traced = Obs.Trace.enabled trace in
     let t0 = Unix.gettimeofday () in
@@ -221,7 +227,17 @@ module Make (N : Network.Intf.NETWORK) = struct
     if traced then
       Obs.Trace.pass_begin trace ~pass ~index:p.id ~gates:gates_before
         ~depth:(Dp.depth sub);
-    let optimized = E.run_script st.env (Copy.convert sub) script in
+    (* the defensive runner: a pass exception or an expired deadline
+       yields the best-so-far sub-network instead of killing the job, and
+       the guard below still decides whether that is worth keeping *)
+    let optimized, degs =
+      E.run_script_safe st.env ~deadline (Copy.convert sub) script
+    in
+    let degraded = degs <> [] in
+    (match degs with
+    | [] -> ()
+    | { Engine.d_reason; d_detail; _ } :: _ ->
+      Obs.Trace.degraded trace ~pass ~reason:d_reason ~detail:d_detail);
     let improved =
       let ga = N.num_gates optimized in
       ga < gates_before || (ga = gates_before && Dp.depth optimized < Dp.depth sub)
@@ -256,6 +272,7 @@ module Make (N : Network.Intf.NETWORK) = struct
           ("accepted", if verdict = Accepted then 1 else 0);
           ("sim_mismatch", if sim_mismatch then 1 else 0);
           ("cec_checked", if cec_checked then 1 else 0);
+          ("degraded", if degraded then 1 else 0);
         ];
       Obs.Trace.pass_end trace
         ~gc:(Obs.Trace.gc_diff g0 (Gc.quick_stat ()))
@@ -263,7 +280,7 @@ module Make (N : Network.Intf.NETWORK) = struct
         ~elapsed:seconds ()
     end;
     { part = p; chosen; verdict; gates_before; gates_after; sim_mismatch;
-      cec_checked; seconds }
+      cec_checked; degraded; seconds }
 
   (* -- stitch: rebuild the parent from the guarded pieces -- *)
 
@@ -274,6 +291,7 @@ module Make (N : Network.Intf.NETWORK) = struct
      partition boundaries, and logic not reachable from the POs is never
      instantiated. *)
   let stitch (net : N.t) (pieces : piece_result array) : N.t =
+    if Fault.active () then Fault.fire "partition.stitch";
     let dst = N.create ~initial_capacity:(N.size net) () in
     let map = Array.make (N.size net) (-1) in
     map.(0) <- N.constant false;
@@ -320,6 +338,9 @@ module Make (N : Network.Intf.NETWORK) = struct
     rejected_cex : int;
     sim_mismatches : int;
     cec_escalations : int;
+    failed : int;  (* jobs that raised even after retries (cone kept) *)
+    degraded_pieces : int;  (* pieces whose script run degraded *)
+    stitch_fallbacks : int;  (* 0 = clean; 1 = all-original; 2 = identity *)
     jobs : int;
     gates_before : int;
     gates_after : int;
@@ -335,8 +356,8 @@ module Make (N : Network.Intf.NETWORK) = struct
      which is what makes the worker phase safe. *)
   let run ?(size_cap = 2000) ?(jobs = Domain.recommended_domain_count ())
       ?(script = Script.compress2rs) ?(trace = Obs.Trace.null) ?(sim_vars = 8)
-      ?(sim_rounds = 4) ?(cec_conflict_budget = 0) ~make_env (net : N.t) :
-      N.t * stats =
+      ?(sim_rounds = 4) ?(cec_conflict_budget = 0) ?(deadline = 0.)
+      ?(retries = 0) ~make_env (net : N.t) : N.t * stats =
     let traced = Obs.Trace.enabled trace in
     let gates_before = N.num_gates net in
     let d0 = if traced then Dp.depth net else 0 in
@@ -362,8 +383,8 @@ module Make (N : Network.Intf.NETWORK) = struct
     if traced then
       Obs.Trace.pass_begin trace ~pass:"partition-opt" ~index:1
         ~gates:gates_before ~depth:d0;
-    let results, states =
-      Parmap.map ~jobs
+    let job_results, states =
+      Parmap.map_results ~jobs ~retries
         ~init:(fun k ->
           {
             env = make_env ();
@@ -371,16 +392,49 @@ module Make (N : Network.Intf.NETWORK) = struct
           })
         ~f:(fun st p ->
           optimize_piece st ~script ~sim_vars ~sim_rounds ~cec_conflict_budget
-            net p)
+            ~deadline net p)
         parts
     in
     let optimize_seconds = Unix.gettimeofday () -. t1 in
     Obs.Trace.merge trace
       (Array.to_list (Array.map (fun st -> st.wtrace) states));
+    (* per-job isolation: a piece whose job raised (even after retries)
+       keeps its original cone — the stitch then reproduces the parent's
+       logic for that region, so a crash costs QoR, never correctness *)
+    let results =
+      Array.mapi
+        (fun i -> function
+          | Ok r -> r
+          | Error (e : Parmap.job_error) ->
+            let p = parts.(i) in
+            let sub = export net p in
+            let gates = N.num_gates sub in
+            Obs.Trace.degraded trace
+              ~pass:(Printf.sprintf "part%d" p.id)
+              ~reason:"exception"
+              ~detail:
+                (Printf.sprintf "%s (after %d attempt(s))"
+                   (Printexc.to_string e.Parmap.err_exn)
+                   e.Parmap.err_attempts);
+            {
+              part = p;
+              chosen = sub;
+              verdict = Failed;
+              gates_before = gates;
+              gates_after = gates;
+              sim_mismatch = false;
+              cec_checked = false;
+              degraded = true;
+              seconds = 0.;
+            })
+        job_results
+    in
     let count f = Array.fold_left (fun a r -> if f r then a + 1 else a) 0 results in
     let accepted = count (fun r -> r.verdict = Accepted) in
     let rejected_cost = count (fun r -> r.verdict = Rejected_cost) in
     let rejected_cex = count (fun r -> r.verdict = Rejected_cex) in
+    let failed = count (fun r -> r.verdict = Failed) in
+    let degraded_pieces = count (fun r -> r.degraded) in
     let sim_mismatches = count (fun r -> r.sim_mismatch) in
     let cec_escalations = count (fun r -> r.cec_checked) in
     if traced then begin
@@ -399,6 +453,8 @@ module Make (N : Network.Intf.NETWORK) = struct
       Obs.Metrics.add (Obs.Metrics.counter m "rejected_cex") rejected_cex;
       Obs.Metrics.add (Obs.Metrics.counter m "sim_mismatches") sim_mismatches;
       Obs.Metrics.add (Obs.Metrics.counter m "cec_escalations") cec_escalations;
+      Obs.Metrics.add (Obs.Metrics.counter m "failed") failed;
+      Obs.Metrics.add (Obs.Metrics.counter m "degraded") degraded_pieces;
       Obs.Metrics.set (Obs.Metrics.gauge m "jobs") jobs;
       Obs.Metrics.set (Obs.Metrics.gauge m "size_cap") size_cap;
       Obs.Metrics.emit m trace;
@@ -413,7 +469,30 @@ module Make (N : Network.Intf.NETWORK) = struct
     if traced then
       Obs.Trace.pass_begin trace ~pass:"partition-stitch" ~index:2
         ~gates:gates_before ~depth:d0;
-    let out = stitch net results in
+    (* the stitch itself is guarded: if it raises (an [partition.stitch]
+       injection, or a genuine bug), retry with every piece reverted to
+       its original cone; if even that fails, fall back to an identity
+       copy of the parent.  Either fallback degrades QoR, never
+       correctness. *)
+    let out, stitch_fallbacks =
+      match stitch net results with
+      | out -> (out, 0)
+      | exception e1 -> (
+        Obs.Trace.degraded trace ~pass:"partition-stitch" ~reason:"exception"
+          ~detail:(Printexc.to_string e1);
+        let originals =
+          Array.map (fun r -> { r with chosen = export net r.part }) results
+        in
+        match stitch net originals with
+        | out -> (out, 1)
+        | exception e2 ->
+          Obs.Trace.degraded trace ~pass:"partition-stitch"
+            ~reason:"exception"
+            ~detail:
+              ("fallback stitch also failed: " ^ Printexc.to_string e2
+             ^ "; returning identity copy");
+          (Copy.convert net, 2))
+    in
     let stitch_seconds = Unix.gettimeofday () -. t2 in
     let gates_after = N.num_gates out in
     if traced then
@@ -429,6 +508,9 @@ module Make (N : Network.Intf.NETWORK) = struct
         rejected_cex;
         sim_mismatches;
         cec_escalations;
+        failed;
+        degraded_pieces;
+        stitch_fallbacks;
         jobs;
         gates_before;
         gates_after;
@@ -442,8 +524,13 @@ module Make (N : Network.Intf.NETWORK) = struct
      caller knows which representation [N] is. *)
   let run_with ?(trace = Obs.Trace.null) ~(config : Run_config.t) ~make_env
       (net : N.t) : N.t * stats =
+    let deadline =
+      if config.Run_config.timeout > 0. then
+        Unix.gettimeofday () +. config.Run_config.timeout
+      else 0.
+    in
     run
       ~size_cap:(max 1 config.Run_config.partition)
       ~jobs:config.Run_config.jobs ~script:config.Run_config.script ~trace
-      ~make_env net
+      ~deadline ~retries:config.Run_config.retries ~make_env net
 end

@@ -25,6 +25,9 @@ type t = {
   budget : int;  (* CEC conflict budget; 0 = ladder default, <0 = complete *)
   kernel : string;  (* SAT kernel: "modern" | "legacy" *)
   cache : string option;  (* persistent exact-synthesis store path *)
+  timeout : float;  (* wall-clock budget per network, seconds; 0 = none *)
+  retries : int;  (* extra attempts for a failed batch/partition job *)
+  faults : string option;  (* fault-injection spec (see Fault), testing only *)
 }
 
 let representation_to_string = function
@@ -53,12 +56,15 @@ let default =
     budget = 0;
     kernel = "modern";
     cache = None;
+    timeout = 0.;
+    retries = 0;
+    faults = None;
   }
 
 let make ?(representation = default.representation) ?(script = default.script)
     ?trace_path ?(stats = false) ?(sample = 0) ?(partition = 0)
     ?(jobs = default.jobs) ?(sat_jobs = 1) ?(budget = 0) ?(kernel = "modern")
-    ?cache () =
+    ?cache ?(timeout = 0.) ?(retries = 0) ?faults () =
   {
     representation;
     script;
@@ -71,6 +77,9 @@ let make ?(representation = default.representation) ?(script = default.script)
     budget;
     kernel;
     cache;
+    timeout;
+    retries;
+    faults;
   }
 
 (* ------------------------------------------- environment override layer *)
@@ -87,6 +96,14 @@ let str_env name current =
   match Sys.getenv_opt name with
   | Some s when String.trim s <> "" -> String.trim s
   | _ -> current
+
+let float_env name current =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> current)
+  | None -> current
 
 let opt_env name current =
   match Sys.getenv_opt name with
@@ -107,6 +124,9 @@ let with_env cfg =
       | ("modern" | "legacy") as k -> k
       | _ -> cfg.kernel);
     cache = opt_env "GENLOG_CACHE" cfg.cache;
+    timeout = float_env "GENLOG_TIMEOUT" cfg.timeout;
+    retries = int_env "GENLOG_RETRIES" cfg.retries;
+    faults = opt_env "GENLOG_FAULTS" cfg.faults;
   }
 
 let of_env () = with_env default
@@ -148,11 +168,11 @@ let json_opt = function None -> "null" | Some s -> json_string s
 
 let to_json cfg =
   Printf.sprintf
-    "{\"representation\":%s,\"script\":%s,\"trace\":%s,\"stats\":%b,\"sample\":%d,\"partition\":%d,\"jobs\":%d,\"sat_jobs\":%d,\"budget\":%d,\"kernel\":%s,\"cache\":%s}"
+    "{\"representation\":%s,\"script\":%s,\"trace\":%s,\"stats\":%b,\"sample\":%d,\"partition\":%d,\"jobs\":%d,\"sat_jobs\":%d,\"budget\":%d,\"kernel\":%s,\"cache\":%s,\"timeout\":%.6g,\"retries\":%d,\"faults\":%s}"
     (json_string (representation_to_string cfg.representation))
     (json_string cfg.script) (json_opt cfg.trace_path) cfg.stats cfg.sample
     cfg.partition cfg.jobs cfg.sat_jobs cfg.budget (json_string cfg.kernel)
-    (json_opt cfg.cache)
+    (json_opt cfg.cache) cfg.timeout cfg.retries (json_opt cfg.faults)
 
 let of_json (j : Obs.Json.t) : (t, string) result =
   match j with
@@ -196,6 +216,11 @@ let of_json (j : Obs.Json.t) : (t, string) result =
           budget = int "budget" 0;
           kernel;
           cache = opt "cache";
+          timeout =
+            Option.value ~default:default.timeout
+              (Obs.Json.num_member "timeout" j);
+          retries = int "retries" default.retries;
+          faults = opt "faults";
         })
   | _ -> Error "run config must be a JSON object"
 

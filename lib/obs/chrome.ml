@@ -37,7 +37,8 @@ let flow_tracks events =
       | Trace.Counters { flow; _ }
       | Trace.Metrics { flow; _ }
       | Trace.Node_event { flow; _ }
-      | Trace.Race { flow; _ } -> see flow)
+      | Trace.Race { flow; _ }
+      | Trace.Degraded { flow; _ } -> see flow)
     events;
   (tids, List.rev !order)
 
@@ -136,7 +137,13 @@ let lines (t : Trace.t) =
           (Printf.sprintf
              "{\"name\":\"%s race: %s\",\"cat\":\"race\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
              (esc algo) (esc winner) (us t) (tid flow)
-             (String.concat "," args)))
+             (String.concat "," args))
+      | Trace.Degraded { t; flow; pass; reason; detail } ->
+        (* an instant marker so degradations are visible on the timeline *)
+        emit t
+          (Printf.sprintf
+             "{\"name\":\"degraded: %s\",\"cat\":\"degraded\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"pass\":\"%s\",\"detail\":\"%s\"}}"
+             (esc reason) (us t) (tid flow) (esc pass) (esc detail)))
     events;
   let timed =
     List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !timed)

@@ -90,8 +90,24 @@ let races_cell (r : Trace.pass_row) =
       (String.concat ", "
          (List.map (fun (w, n) -> Printf.sprintf "%s:%d" w n) ws))
 
-let section_passes b (rows : Trace.pass_row list) =
+let section_passes b (trace : Trace.t) (rows : Trace.pass_row list) =
   Buffer.add_string b "<h2 id=\"passes\">Passes</h2>";
+  (* degraded-job banner first: a dashboard reader must not mistake a
+     best-so-far run for a clean one *)
+  (let degs = Trace.degraded_events trace in
+   if degs <> [] then begin
+     Buffer.add_string b
+       (Printf.sprintf
+          "<p class=\"bad\">degraded run: %d marker(s)</p><ul>"
+          (List.length degs));
+     List.iter
+       (fun (pass, reason, detail) ->
+         Buffer.add_string b
+           (Printf.sprintf "<li><b>%s</b>: %s — %s</li>" (esc pass)
+              (esc reason) (esc detail)))
+       degs;
+     Buffer.add_string b "</ul>"
+   end);
   if rows = [] then
     Buffer.add_string b "<p class=\"muted\">no spans recorded</p>"
   else begin
@@ -100,7 +116,7 @@ let section_passes b (rows : Trace.pass_row list) =
       "<table><tr><th class=\"l\">#</th><th class=\"l\">flow</th>\
        <th class=\"l\">pass</th><th>gates</th><th>dG</th><th>dD</th>\
        <th>time</th><th>%</th><th>sat confl</th><th>sat props</th>\
-       <th class=\"l\">races</th></tr>";
+       <th>deg</th><th class=\"l\">races</th></tr>";
     List.iter
       (fun (r : Trace.pass_row) ->
         let pct =
@@ -111,13 +127,15 @@ let section_passes b (rows : Trace.pass_row list) =
              "<tr><td class=\"l\">%d</td><td class=\"l\">%s</td>\
               <td class=\"l\">%s</td><td>%d</td><td>%d</td><td>%d</td>\
               <td>%.3fs</td><td>%.1f%%</td><td>%d</td><td>%d</td>\
-              <td class=\"l\">%s</td></tr>"
+              <td%s>%d</td><td class=\"l\">%s</td></tr>"
              r.Trace.row_index (esc r.Trace.row_flow) (esc r.Trace.row_pass)
              r.Trace.gates_after
              (r.Trace.gates_after - r.Trace.gates_before)
              (r.Trace.depth_after - r.Trace.depth_before)
              r.Trace.row_elapsed pct r.Trace.row_sat_conflicts
-             r.Trace.row_sat_propagations (races_cell r)))
+             r.Trace.row_sat_propagations
+             (if r.Trace.row_degraded > 0 then " class=\"bad\"" else "")
+             r.Trace.row_degraded (races_cell r)))
       rows;
     Buffer.add_string b "</table>"
   end
@@ -275,7 +293,7 @@ let render ?(title = "genlog dashboard") ?trace ?bench ?(history = []) () :
   (match trace with
   | Some t ->
     let rows = Trace.summarize t in
-    section_passes b rows;
+    section_passes b t rows;
     section_sat b t rows
   | None -> ());
   (match bench with Some j -> section_bench b j | None -> ());

@@ -136,6 +136,16 @@ let events_of_json (lines : Json.t list) : Trace.event list =
                winner = Option.value ~default:"" (Json.str_member "winner" j);
                configs;
              })
+      | Some "degraded" ->
+        Some
+          (Trace.Degraded
+             {
+               t;
+               flow;
+               pass = Option.value ~default:"" (Json.str_member "pass" j);
+               reason = Option.value ~default:"" (Json.str_member "reason" j);
+               detail = Option.value ~default:"" (Json.str_member "detail" j);
+             })
       | _ -> None)
     lines
 
@@ -168,13 +178,13 @@ let pp_trace fmt (t : Trace.t) =
     let total = List.fold_left (fun a r -> a +. r.Trace.row_elapsed) 0.0 rows in
     let pct e = if total <= 0.0 then 0.0 else 100.0 *. e /. total in
     Format.fprintf fmt
-      "%4s  %-20s %-10s | %8s %5s | %5s | %8s %5s | %10s %10s | %9s %11s  %s@."
+      "%4s  %-20s %-10s | %8s %5s | %5s | %8s %5s | %10s %10s | %9s %11s | %3s  %s@."
       "#" "flow" "pass" "gates" "dG" "dD" "time" "%" "minor_w" "major_w"
-      "sat_confl" "sat_props" "races";
+      "sat_confl" "sat_props" "deg" "races";
     List.iter
       (fun (r : Trace.pass_row) ->
         Format.fprintf fmt
-          "%4d  %-20s %-10s | %8d %5d | %5d | %7.3fs %4.1f%% | %10.0f %10.0f | %9d %11d  %s@."
+          "%4d  %-20s %-10s | %8d %5d | %5d | %7.3fs %4.1f%% | %10.0f %10.0f | %9d %11d | %3d  %s@."
           r.Trace.row_index r.Trace.row_flow r.Trace.row_pass
           r.Trace.gates_after
           (r.Trace.gates_after - r.Trace.gates_before)
@@ -182,12 +192,12 @@ let pp_trace fmt (t : Trace.t) =
           r.Trace.row_elapsed (pct r.Trace.row_elapsed)
           r.Trace.row_gc.Trace.minor_words r.Trace.row_gc.Trace.major_words
           r.Trace.row_sat_conflicts r.Trace.row_sat_propagations
-          (races_cell r))
+          r.Trace.row_degraded (races_cell r))
       rows;
     let sum f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
     let sumi f = List.fold_left (fun a r -> a + f r) 0 rows in
     Format.fprintf fmt
-      "%4s  %-20s %-10s | %8s %5d | %5d | %7.3fs %5s | %10.0f %10.0f | %9d %11d@."
+      "%4s  %-20s %-10s | %8s %5d | %5d | %7.3fs %5s | %10.0f %10.0f | %9d %11d | %3d@."
       "" "total" "" ""
       (sumi (fun r -> r.Trace.gates_after - r.Trace.gates_before))
       (sumi (fun r -> r.Trace.depth_after - r.Trace.depth_before))
@@ -196,6 +206,27 @@ let pp_trace fmt (t : Trace.t) =
       (sum (fun r -> r.Trace.row_gc.Trace.major_words))
       (sumi (fun r -> r.Trace.row_sat_conflicts))
       (sumi (fun r -> r.Trace.row_sat_propagations))
+      (sumi (fun r -> r.Trace.row_degraded));
+    (* a run that degraded anywhere gets its markers spelled out under the
+       table — the per-row count says "how many", these lines say "why" *)
+    let degs = Trace.degraded_events t in
+    if degs <> [] then begin
+      Format.fprintf fmt "degraded: %d marker(s)@." (List.length degs);
+      List.iter
+        (fun (pass, reason, detail) ->
+          Format.fprintf fmt "  %-16s %-10s %s@." pass reason detail)
+        degs
+    end;
+    (* fault-injection telemetry (CLI runs under GENLOG_FAULTS emit one
+       "faults" counters event at exit) *)
+    List.iter
+      (function
+        | Trace.Counters { algo = "faults"; counters; _ } ->
+          Format.fprintf fmt "faults: %s@."
+            (String.concat " "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters))
+        | _ -> ())
+      (Trace.events t)
   end
 
 (* -- bench side: BENCH_*.json rows -- *)

@@ -118,6 +118,13 @@ type event =
              kernel counters at finish or cancel time — losers included, so
              the work a lost race burned stays visible *)
     }
+  | Degraded of {
+      t : float;
+      flow : string;
+      pass : string;  (* which pass (or subsystem) gave up *)
+      reason : string;  (* "deadline" | "exception" | "interrupt" *)
+      detail : string;
+    }
 
 type sink = {
   flow : string;  (* label stamped on every event; "" at the root *)
@@ -235,6 +242,19 @@ let race t ~algo ~winner ~configs =
     s.rev_events <-
       Race { t = now s; flow = s.flow; algo; winner; configs } :: s.rev_events
 
+(* A graceful-degradation marker: the run kept a valid (best-so-far)
+   result but gave up on part of the work — a pass deadline expired, a
+   pass raised and was rolled back to the last checkpoint, a partition
+   piece kept its original cone.  Consumers treat any nonzero count as
+   "output is correct but QoR is not what the script asked for". *)
+let degraded t ~pass ~reason ~detail =
+  match t with
+  | Null -> ()
+  | Sink s ->
+    s.rev_events <-
+      Degraded { t = now s; flow = s.flow; pass; reason; detail }
+      :: s.rev_events
+
 (* One sampled candidate decision.  The sampler is a deterministic
    counter, not a RNG: 1-in-n by arrival order, reproducible across
    runs. *)
@@ -326,6 +346,10 @@ let json_of_event = function
                 "{\"name\":\"%s\",\"result\":\"%s\",\"counters\":%s}"
                 (escape name) (escape result) (json_of_counters counters))
             configs))
+  | Degraded { t; flow; pass; reason; detail } ->
+    Printf.sprintf
+      "{\"event\":\"degraded\",\"t\":%.6f,\"flow\":\"%s\",\"pass\":\"%s\",\"reason\":\"%s\",\"detail\":\"%s\"}"
+      t (escape flow) (escape pass) (escape reason) (escape detail)
 
 let meta_line () =
   let cache =
@@ -365,6 +389,7 @@ type pass_row = {
   row_sat_conflicts : int;     (* SAT kernel work attributed to the span *)
   row_sat_propagations : int;
   row_races : (string * int) list;  (* race winner name -> wins, in order *)
+  row_degraded : int;  (* degradation markers attributed to the span *)
 }
 
 (* SAT work inside a span comes from two disjoint sources: single-solver
@@ -423,6 +448,7 @@ let summarize t : pass_row list =
             row_sat_conflicts = 0;
             row_sat_propagations = 0;
             row_races = [];
+            row_degraded = 0;
           }
       | Counters { flow; algo; counters; _ } -> (
         match Hashtbl.find_opt pending flow with
@@ -453,6 +479,12 @@ let summarize t : pass_row list =
               row_sat_propagations = row.row_sat_propagations + p;
               row_races = bump_winner row.row_races winner;
             }
+        | None -> ())
+      | Degraded { flow; _ } -> (
+        match find_ancestor_span pending flow with
+        | Some (key, row) ->
+          Hashtbl.replace pending key
+            { row with row_degraded = row.row_degraded + 1 }
         | None -> ())
       | Node_event _ -> ()
       | Pass_end { flow; gates; depth; elapsed; gc; _ } -> (
@@ -492,7 +524,20 @@ let pp_sat fmt r =
   if r.row_races <> [] then
     Format.fprintf fmt " race(%s)"
       (String.concat ","
-         (List.map (fun (w, n) -> Printf.sprintf "%s=%d" w n) r.row_races))
+         (List.map (fun (w, n) -> Printf.sprintf "%s=%d" w n) r.row_races));
+  if r.row_degraded > 0 then
+    Format.fprintf fmt " DEGRADED(%d)" r.row_degraded
+
+(* All degradation markers in event order, whether or not a span was open
+   to attribute them to (CLI-level markers land outside any span). *)
+let degraded_events t =
+  List.filter_map
+    (function
+      | Degraded { pass; reason; detail; _ } -> Some (pass, reason, detail)
+      | _ -> None)
+    (events t)
+
+let degraded_count t = List.length (degraded_events t)
 
 (* The per-pass table: one row per span plus a totals row; the [%] column
    is each pass's share of the summed wall time, so the table answers
@@ -528,4 +573,12 @@ let pp_summary fmt t =
         first.depth_before last.depth_after total_elapsed
         (pct total_elapsed)
     | _ -> ()
+  end;
+  let degs = degraded_events t in
+  if degs <> [] then begin
+    Format.fprintf fmt "degraded: %d event(s)@." (List.length degs);
+    List.iter
+      (fun (pass, reason, detail) ->
+        Format.fprintf fmt "  %-16s %-10s %s@." pass reason detail)
+      degs
   end

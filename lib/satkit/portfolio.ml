@@ -75,13 +75,14 @@ let default_roster n =
       if i < Array.length variants then v
       else { v with name = Printf.sprintf "%s#%d" v.Solver.name i; seed = v.Solver.seed + (31 * i) })
 
-let solve_one ~config ~conflict_budget ~assumptions ~stop ~build =
+let solve_one ~config ~conflict_budget ~assumptions ~deadline ~stop ~build =
   let s = Solver.create ~config () in
   let payload = build s in
-  let r = Solver.solve ~conflict_budget ~assumptions ?stop s in
+  let r = Solver.solve ~conflict_budget ~assumptions ~deadline ?stop s in
   (r, s, payload)
 
-let solve ?jobs ?configs ?(conflict_budget = 0) ?(assumptions = []) ~build () =
+let solve ?jobs ?configs ?(conflict_budget = 0) ?(assumptions = [])
+    ?(deadline = 0.) ~build () =
   let configs =
     match configs with
     | Some (_ :: _ as cs) -> cs
@@ -107,7 +108,8 @@ let solve ?jobs ?configs ?(conflict_budget = 0) ?(assumptions = []) ~build () =
   | [ config ] ->
     (* single worker: plain solve, no domain spawn, no cancellation *)
     let r, s, payload =
-      solve_one ~config ~conflict_budget ~assumptions ~stop:None ~build
+      solve_one ~config ~conflict_budget ~assumptions ~deadline ~stop:None
+        ~build
     in
     {
       result = r;
@@ -126,7 +128,7 @@ let solve ?jobs ?configs ?(conflict_budget = 0) ?(assumptions = []) ~build () =
     let errors = Array.make n None in
     let worker i () =
       match
-        solve_one ~config:configs.(i) ~conflict_budget ~assumptions
+        solve_one ~config:configs.(i) ~conflict_budget ~assumptions ~deadline
           ~stop:(Some (fun () -> Atomic.get cancel))
           ~build
       with

@@ -36,10 +36,12 @@ val solve :
   ?configs:Solver.config list ->
   ?conflict_budget:int ->
   ?assumptions:Lit.t list ->
+  ?deadline:float ->
   build:(Solver.t -> 'a) ->
   unit ->
   'a outcome
 (** Race [jobs] workers (default 1; [configs] overrides the roster and its
     length wins over [jobs] when shorter).  With a single worker this is a
-    plain in-domain solve with no cancellation overhead.  [conflict_budget]
-    and [assumptions] apply to every worker. *)
+    plain in-domain solve with no cancellation overhead.  [conflict_budget],
+    [assumptions] and the absolute wall-clock [deadline] apply to every
+    worker. *)

@@ -86,6 +86,7 @@ val add_clause : t -> Lit.t list -> unit
 val solve :
   ?conflict_budget:int ->
   ?assumptions:Lit.t list ->
+  ?deadline:float ->
   ?stop:(unit -> bool) ->
   t ->
   result
@@ -95,9 +96,14 @@ val solve :
       "unsatisfiable under the assumptions".
     - [conflict_budget] > 0 bounds the search; exceeding it yields
       [Unknown] (never a wrong answer).
+    - [deadline] > 0 is an absolute wall-clock time ([Unix.gettimeofday]
+      scale); once it passes, the solve gives up with [Unknown].
     - [stop] is polled periodically during search; once it returns [true]
       the solve gives up with [Unknown].  Used by the portfolio for
       first-answer-wins cancellation.
+
+    Under fault injection ([GENLOG_FAULTS]) this is the [sat.solve]
+    point: an armed draw raises {!Fault_core.Injected} on entry.
 
     After [Sat], the model is available through {!model_value} until the
     next [solve] or [add_clause]. *)

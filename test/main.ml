@@ -17,6 +17,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("capabilities", Test_capabilities.suite);
       ("extensions", Test_extensions.suite);
+      ("fault", Test_fault.suite);
       ("equiv", Test_equiv.suite);
       ("props", Test_props.suite);
     ]

@@ -26,7 +26,8 @@ let span_events trace =
     (function
       | T.Pass_begin { pass; index; _ } -> Some ("pass_begin", pass, index)
       | T.Pass_end { pass; index; _ } -> Some ("pass_end", pass, index)
-      | T.Counters _ | T.Metrics _ | T.Node_event _ | T.Race _ -> None)
+      | T.Counters _ | T.Metrics _ | T.Node_event _ | T.Race _ | T.Degraded _
+        -> None)
     (T.events trace)
 
 let test_null_sink () =
@@ -59,7 +60,8 @@ let timestamp = function
   | T.Counters { t; _ }
   | T.Metrics { t; _ }
   | T.Node_event { t; _ }
-  | T.Race { t; _ } -> t
+  | T.Race { t; _ }
+  | T.Degraded { t; _ } -> t
 
 let flow_of = function
   | T.Pass_begin { flow; _ }
@@ -67,7 +69,8 @@ let flow_of = function
   | T.Counters { flow; _ }
   | T.Metrics { flow; _ }
   | T.Node_event { flow; _ }
-  | T.Race { flow; _ } -> flow
+  | T.Race { flow; _ }
+  | T.Degraded { flow; _ } -> flow
 
 let test_monotonic_timestamps () =
   let _, _, trace = traced_run () in

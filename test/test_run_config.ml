@@ -10,7 +10,8 @@ let test_json_round_trip () =
   let c =
     RC.make ~representation:RC.Xmg ~script:"bz; rw; rf" ~trace_path:"t.jsonl"
       ~stats:true ~sample:10 ~partition:500 ~jobs:3 ~sat_jobs:2 ~budget:1000
-      ~kernel:"legacy" ~cache:"/tmp/store.glxs" ()
+      ~kernel:"legacy" ~cache:"/tmp/store.glxs" ~timeout:1.5 ~retries:2
+      ~faults:"parmap.job:0.1,sat.solve:1:2" ()
   in
   match RC.of_json_string (RC.to_json c) with
   | Ok c' -> Alcotest.check cfg "round-trips" c c'
@@ -51,6 +52,9 @@ let test_env_overrides () =
       ("GENLOG_CACHE", "/tmp/env_store.glxs");
       ("GENLOG_SAT_KERNEL", "legacy");
       ("GENLOG_JOBS", "not-a-number");
+      ("GENLOG_TIMEOUT", "2.5");
+      ("GENLOG_RETRIES", "3");
+      ("GENLOG_FAULTS", "store.append:1:1");
     ]
     (fun () ->
       let c = RC.of_env () in
@@ -61,6 +65,12 @@ let test_env_overrides () =
         (Some "/tmp/env_store.glxs")
         c.RC.cache;
       Alcotest.(check string) "kernel from env" "legacy" c.RC.kernel;
+      Alcotest.(check (float 1e-9)) "timeout from env" 2.5 c.RC.timeout;
+      Alcotest.(check int) "retries from env" 3 c.RC.retries;
+      Alcotest.(check (option string))
+        "faults from env"
+        (Some "store.append:1:1")
+        c.RC.faults;
       (* unparsable integers keep the default rather than failing *)
       Alcotest.(check int) "bad int ignored" RC.default.RC.jobs c.RC.jobs)
 

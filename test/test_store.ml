@@ -148,6 +148,68 @@ let test_domain_mismatch_detaches () =
   Alcotest.(check int) "original store untouched" n l.Exact.Store.loaded;
   Sys.remove path
 
+(* -- injected crash points (the GENLOG_FAULTS registry) -- *)
+
+let with_faults spec f =
+  (match Flow.Fault.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Flow.Fault.disable f
+
+(* A flush that crashes mid-append leaves exactly the torn tail [load]
+   skips; compaction then heals the file. *)
+let test_injected_torn_append () =
+  let path = fresh_path () in
+  let db = Exact.Database.create ~store:path config in
+  lookup_all db;
+  let n = Exact.Database.size db in
+  with_faults "store.append:1:1" (fun () ->
+      Exact.Database.flush db;
+      Alcotest.(check bool) "fault fired" true (Flow.Fault.fired ()));
+  let l = Exact.Store.load ~config path in
+  Alcotest.(check bool) "domain ok" true l.Exact.Store.domain_ok;
+  Alcotest.(check int) "torn tail skipped" 1 l.Exact.Store.skipped;
+  Alcotest.(check int) "nothing loaded past the tear" 0 l.Exact.Store.loaded;
+  (* heal: re-synthesize and compact; the rewrite replaces the torn file *)
+  let db2 = Exact.Database.create ~store:path config in
+  lookup_all db2;
+  Alcotest.(check int) "lost classes re-synthesized" n
+    (Exact.Database.misses db2);
+  Exact.Database.compact db2;
+  let l2 = Exact.Store.load ~config path in
+  Alcotest.(check int) "healed: all loaded" n l2.Exact.Store.loaded;
+  Alcotest.(check int) "healed: nothing skipped" 0 l2.Exact.Store.skipped;
+  let db3 = Exact.Database.create ~store:path config in
+  lookup_all db3;
+  Alcotest.(check int) "healed store is warm" 0 (Exact.Database.misses db3);
+  Sys.remove path
+
+(* A compaction that crashes after writing the temp file but before the
+   rename must leave the original store untouched. *)
+let test_injected_compact_crash () =
+  let path = fresh_path () in
+  let n = populate path in
+  let db = Exact.Database.create ~store:path config in
+  with_faults "store.compact:1:1" (fun () -> Exact.Database.compact db);
+  let l = Exact.Store.load ~config path in
+  Alcotest.(check int) "original intact" n l.Exact.Store.loaded;
+  Alcotest.(check int) "nothing skipped" 0 l.Exact.Store.skipped;
+  (* no leftover temp files *)
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool)
+        ("no temp residue: " ^ f)
+        false
+        (String.length f > String.length base
+        && String.sub f 0 (String.length base) = base))
+    (Sys.readdir dir);
+  (* the next, un-faulted compaction succeeds *)
+  Exact.Database.compact db;
+  let l2 = Exact.Store.load ~config path in
+  Alcotest.(check int) "clean compaction" n l2.Exact.Store.loaded;
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "write -> reopen round-trip" `Quick test_round_trip;
@@ -158,4 +220,8 @@ let suite =
       test_compaction_preserves;
     Alcotest.test_case "domain mismatch detaches" `Quick
       test_domain_mismatch_detaches;
+    Alcotest.test_case "injected torn append heals" `Quick
+      test_injected_torn_append;
+    Alcotest.test_case "injected compact crash keeps original" `Quick
+      test_injected_compact_crash;
   ]
