@@ -8,6 +8,7 @@
      dune exec bench/main.exe cuts       -- cut-enumeration kernel sweep
      dune exec bench/main.exe ablation   -- design-choice ablations
      dune exec bench/main.exe smoke      -- fast deterministic CI QoR gate
+     dune exec bench/main.exe cost       -- cost-objective matrix, CEC-checked
      dune exec bench/main.exe partition  -- partition-parallel engine vs sequential
      dune exec bench/main.exe sat        -- CDCL kernel on CEC miters (legacy vs modern)
 
@@ -269,6 +270,66 @@ let smoke () =
   Printf.printf "[bench] wrote TRACE_smoke.jsonl (%d events)\n%!"
     (List.length (Trace.events trace));
   Bench_json.write "smoke" (List.rev !rows)
+
+(* -------------------------------------------------------------------- *)
+(* Cost matrix: the generic flow under each built-in objective on three  *)
+(* smoke benchmarks.  Every run is CEC-checked against its input and the *)
+(* engine's own objective must never worsen across the flow; rows land   *)
+(* in BENCH_cost.json (one row per benchmark x cost) for the history.    *)
+(* -------------------------------------------------------------------- *)
+
+let cost_bench () =
+  print_endline "=== Cost matrix: compress2rs under area/depth/edges ===";
+  let module F = Flow.Make (Aig) in
+  let module C = Cec.Make (Aig) (Aig) in
+  let module Co = Cost.Make (Aig) in
+  let module Copy = Convert.Make (Aig) (Aig) in
+  let module Cl = Convert.Cleanup (Aig) in
+  let rows = ref [] in
+  Printf.printf "%-12s %-6s | %8s %5s %9s %8s %4s\n" "benchmark" "cost"
+    "nodes" "lvl" "objective" "time" "cec";
+  List.iter
+    (fun name ->
+      let baseline = Suite.build name in
+      List.iter
+        (fun spec ->
+          let cost_name = Cost.Spec.to_string spec in
+          let env = Flow.aig_env ~cost:spec () in
+          let before = Co.eval spec (Cl.cleanup (Copy.convert baseline)) in
+          let input = Copy.convert baseline in
+          let opt, seconds =
+            time_it (fun () -> F.run_script env input Script.compress2rs)
+          in
+          let after = Co.eval spec opt in
+          let equiv =
+            match C.check baseline opt with
+            | Algo.Cec.Equivalent -> true
+            | Algo.Cec.Counterexample _ | Algo.Cec.Unknown -> false
+          in
+          if not equiv then begin
+            Printf.eprintf "cost: %s under %s is NOT equivalent to its input\n"
+              name cost_name;
+            exit 1
+          end;
+          if after > before then begin
+            Printf.eprintf "cost: %s under %s worsened its objective %d -> %d\n"
+              name cost_name before after;
+            exit 1
+          end;
+          let nodes = Aig.num_gates opt and levels = D.depth opt in
+          Printf.printf "%-12s %-6s | %8d %5d %9d %7.2fs   ok\n%!" name
+            cost_name nodes levels after seconds;
+          rows :=
+            row name cost_name
+              [ ("cost", Bench_json.Str cost_name);
+                ("nodes", Bench_json.Int nodes);
+                ("levels", Bench_json.Int levels);
+                ("objective", Bench_json.Int after);
+                ("seconds", Bench_json.Float seconds) ]
+            :: !rows)
+        [ Cost.Spec.Area; Cost.Spec.Depth; Cost.Spec.Edges ])
+    [ "ctrl"; "int2float"; "router" ];
+  Bench_json.write "cost" (List.rev !rows)
 
 (* -------------------------------------------------------------------- *)
 (* Cache: the persistent exact-synthesis store, cold vs warm.  A cold    *)
@@ -764,6 +825,7 @@ let () =
   | "partition" -> partition_bench ()
   | "sat" -> sat_bench ()
   | "cache" -> cache_bench ()
+  | "cost" -> cost_bench ()
   | "all" ->
     micro ();
     cuts_bench ();
@@ -776,6 +838,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown bench target %s \
-       (table1|table2|micro|cuts|ablation|smoke|partition|sat|cache|all)\n"
+       (table1|table2|micro|cuts|ablation|smoke|partition|sat|cache|cost|all)\n"
       other;
     exit 1

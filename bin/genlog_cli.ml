@@ -144,6 +144,19 @@ let kernel_arg =
               $(b,legacy) (pre-modernization baseline). Equivalent to \
               setting GENLOG_SAT_KERNEL.")
 
+let cost_arg =
+  Arg.(
+    value
+    & opt string base_cfg.RC.cost
+    & info [ "cost" ] ~docv:"SPEC"
+        ~doc:"Optimization objective every pass gains against: \
+              $(b,area) (gate count, the default), $(b,depth), \
+              $(b,edges), $(b,activity) (switching activity from \
+              deterministic simulation), $(b,lut) or $(b,lut:K) \
+              (technology-aware K-LUT cost), or $(b,weights:FILE) \
+              (per-gate-kind integer weights). The spec is stamped into \
+              trace meta and BENCH headers. Equivalent to GENLOG_COST.")
+
 let timeout_arg =
   Arg.(
     value
@@ -266,7 +279,7 @@ let opt_cmd =
                 $(i,FILE).opt.aag next to each input).")
   in
   let run files rep script output trace_file stats sample partition jobs
-      sat_jobs cache kernel timeout retries faults =
+      sat_jobs cache kernel cost timeout retries faults =
     let representation =
       match rep with
       | `Aig -> RC.Aig
@@ -274,12 +287,19 @@ let opt_cmd =
       | `Xag -> RC.Xag
       | `Xmg -> RC.Xmg
     in
+    (match Genlog.Cost.Spec.of_string cost with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "opt: bad --cost spec: %s\n" msg;
+      exit 2);
     let cfg =
       RC.make ~representation ~script ?trace_path:trace_file ~stats ~sample
-        ~partition ~jobs ~sat_jobs ~budget:base_cfg.RC.budget ~kernel ?cache
-        ~timeout ~retries ?faults ()
+        ~partition ~jobs ~sat_jobs ~budget:base_cfg.RC.budget ~kernel ~cost
+        ?cache ~timeout ~retries ?faults ()
     in
     RC.publish_kernel cfg;
+    (* stamp the objective into trace meta and BENCH headers *)
+    Genlog.Runmeta.set_cost cfg.RC.cost;
     (match cfg.RC.faults with
     | None -> ()
     | Some spec -> (
@@ -506,7 +526,8 @@ let opt_cmd =
              several FILEs to amortize exact synthesis across them)")
     Term.(const run $ files $ representation $ script_arg $ output $ trace_arg
           $ stats_flag $ sample_arg $ partition_arg $ jobs_arg $ sat_jobs_arg
-          $ cache_arg $ kernel_arg $ timeout_arg $ retries_arg $ faults_arg)
+          $ cache_arg $ kernel_arg $ cost_arg $ timeout_arg $ retries_arg
+          $ faults_arg)
 
 (* -- map -- *)
 
@@ -516,17 +537,24 @@ let map_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
   in
-  let run file k output =
+  let run file k cost output =
     let t = read_aig file in
+    let spec =
+      match Genlog.Cost.Spec.of_string cost with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "map: bad --cost spec: %s\n" msg;
+        exit 2
+    in
     let module L = Genlog.Lutmap.Make (Aig) in
-    let m = L.map t ~k () in
+    let m = L.map t ~cost:spec ~k () in
     Printf.eprintf "%d-LUTs: %d  depth: %d\n%!" k m.L.lut_count m.L.depth;
     match output with
     | Some path -> Genlog.Blif.write_file m.L.klut path
     | None -> Genlog.Blif.write m.L.klut stdout
   in
   Cmd.v (Cmd.info "map" ~doc:"Map into k-input LUTs, writing BLIF")
-    Term.(const run $ file $ k $ output)
+    Term.(const run $ file $ k $ cost_arg $ output)
 
 (* -- cec -- *)
 

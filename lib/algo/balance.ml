@@ -13,6 +13,7 @@
 module Make (N : Network.Intf.NETWORK) = struct
   module T = Topo.Make (N)
   module Dp = Depth.Make (N)
+  module Co = Cost.Make (N)
 
   (* Grow the group of AND/XOR gates of kind [kind] rooted at [n]; returns
      the leaf signals (possibly complemented). *)
@@ -80,7 +81,8 @@ module Make (N : Network.Intf.NETWORK) = struct
     go q
 
   (* One balancing pass.  Returns the number of substitutions applied. *)
-  let run ?(trace = Obs.Trace.null) (net : N.t) : int =
+  let run ?(trace = Obs.Trace.null) ?(cost = Cost.Spec.Area) (net : N.t) : int =
+    let eng = Co.engine cost in
     let tried = ref 0 in
     let sampling = Obs.Trace.sampling trace in
     let metrics = Obs.Metrics.of_trace trace ~algo:"balance" in
@@ -106,24 +108,39 @@ module Make (N : Network.Intf.NETWORK) = struct
         incr tried;
         if Obs.Metrics.enabled metrics then
           Obs.Metrics.observe h_group (List.length leaves);
-        let gates_before = N.num_gates net in
+        let mark = eng.Co.mark net in
         let s = rebuild net ~level_of combine leaves in
+        let root = N.node_of_signal s in
         let leaf_nodes = Array.of_list (List.map N.node_of_signal leaves) in
         if
-          N.node_of_signal s <> n
-          && not (T.cone_contains net ~root:(N.node_of_signal s) ~leaves:leaf_nodes n)
+          root <> n
+          && not (T.cone_contains net ~root ~leaves:leaf_nodes n)
         then begin
-          (* the rebuilt tree computes the same function with the same or a
-             smaller gate count; [s] carries any output complement *)
-          N.substitute_node net n s;
-          incr substitutions;
-          if sampling then
-            Obs.Trace.node_event trace ~algo:"balance" ~node:n
-              ~gain:(gates_before - N.num_gates net)
-              ~accepted:true
+          (* the rebuilt tree computes the same function; for additive
+             objectives it never costs more than the group it replaces
+             (structural hashing only removes gates), so the zero-gain
+             accept reproduces the seed's unconditional substitution while
+             still rejecting objective-worsening rebuilds under other
+             costs; [s] carries any output complement *)
+          let added = eng.Co.added net ~mark ~root in
+          let freed = eng.Co.freed net n in
+          let gain = freed - added in
+          if Co.accept ~zero_gain:true eng gain then begin
+            N.substitute_node net n s;
+            incr substitutions;
+            if sampling then
+              Obs.Trace.node_event trace ~algo:"balance" ~node:n ~gain
+                ~accepted:true
+          end
+          else begin
+            N.take_out_if_dead net root;
+            if sampling then
+              Obs.Trace.node_event trace ~algo:"balance" ~node:n ~gain
+                ~accepted:false
+          end
         end
         else begin
-          N.take_out_if_dead net (N.node_of_signal s);
+          N.take_out_if_dead net root;
           if sampling then
             Obs.Trace.node_event trace ~algo:"balance" ~node:n ~gain:0
               ~accepted:false

@@ -14,19 +14,29 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
   module Sim = Simulate.Make (N)
   module T = Topo.Make (N)
   module C = Cec.Make (N) (N)
+  module CoM = Cost.Merge (N)
 
   type stats = {
     mutable classes : int;      (* candidate classes with >= 2 members *)
-    mutable proved : int;       (* merges applied *)
+    mutable proved : int;       (* SAT-proved equivalent pairs *)
     mutable refuted : int;      (* SAT counterexamples *)
     mutable unknown : int;      (* conflict budget exhausted *)
     mutable escalated : int;    (* pairs retried on the portfolio *)
+    mutable cost_skipped : int; (* proved merges rejected by the objective *)
   }
 
-  let run (net : N.t) ?(trace = Obs.Trace.null) ?(num_vars = 8) ?(seed = 1)
-      ?(conflict_budget = 2_000) ?(sat_jobs = 1) () : stats =
+  let run (net : N.t) ?(trace = Obs.Trace.null) ?(cost = Cost.Spec.Area)
+      ?(num_vars = 8) ?(seed = 1) ?(conflict_budget = 2_000) ?(sat_jobs = 1)
+      () : stats =
     let stats =
-      { classes = 0; proved = 0; refuted = 0; unknown = 0; escalated = 0 }
+      {
+        classes = 0;
+        proved = 0;
+        refuted = 0;
+        unknown = 0;
+        escalated = 0;
+        cost_skipped = 0;
+      }
     in
     let sampling = Obs.Trace.sampling trace in
     let metrics = Obs.Metrics.of_trace trace ~algo:"fraig" in
@@ -154,7 +164,9 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
             rest)
       classes;
     (* 4. apply merges (representatives are topologically earlier, so no
-       cycles can arise) *)
+       cycles can arise).  Merging adds no nodes, so additive objectives
+       always improve; the max-monoid (depth) additionally requires the
+       survivor to be no deeper than the node it replaces. *)
     List.iter
       (fun (m, rep, flip) ->
         if
@@ -162,8 +174,10 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
           && (not (N.is_dead net rep))
           && N.is_gate net m
         then
-          N.substitute_node net m
-            (N.complement_if flip (N.signal_of_node rep)))
+          if CoM.ok cost net ~keep:rep ~drop:m then
+            N.substitute_node net m
+              (N.complement_if flip (N.signal_of_node rep))
+          else stats.cost_skipped <- stats.cost_skipped + 1)
       (List.rev !merges);
     (* export the shared solver's kernel counters (conflicts, clause tiers,
        minimization/inprocessing work) through the metrics registry *)
@@ -179,6 +193,7 @@ module Make (N : Network.Intf.SWEEPABLE) = struct
         ("refuted", stats.refuted);
         ("unknown", stats.unknown);
         ("escalated", stats.escalated);
+        ("cost_skipped", stats.cost_skipped);
       ];
     Obs.Metrics.emit metrics trace;
     stats

@@ -20,8 +20,19 @@ module Make (N : Network.Intf.COUNTED) = struct
   (* Choose, for every gate, a best cut in two modes:
      - depth mode: minimize (arrival, area flow),
      - area mode: minimize (area flow, arrival) subject to required time. *)
-  let map (net : N.t) ?(trace = Obs.Trace.null) ?(k = 6) ?(cut_limit = 12)
-      ?(area_iterations = 2) () : mapping =
+  let map (net : N.t) ?(trace = Obs.Trace.null) ?(cost = Cost.Spec.Area)
+      ?(k = 6) ?(cut_limit = 12) ?(area_iterations = 2) () : mapping =
+    (* per-cut instantiation price under the chosen objective: edge count
+       charges a cut its leaf count, user weights charge the LUT weight,
+       everything else prices each LUT at 1 (the seed behavior) *)
+    let cut_price (cut : C.cut) =
+      match cost with
+      | Cost.Spec.Edges -> float_of_int (Array.length cut.C.leaves)
+      | Cost.Spec.Weights w -> float_of_int (max 1 w.Cost.Spec.w_lut)
+      | Cost.Spec.Area | Cost.Spec.Depth | Cost.Spec.Activity
+      | Cost.Spec.Lut _ ->
+        1.0
+    in
     let metrics = Obs.Metrics.of_trace trace ~algo:"lutmap" in
     let h_width = Obs.Metrics.histogram metrics "lut_width" in
     let cut_metrics = Obs.Metrics.of_trace trace ~algo:"lutmap.cuts" in
@@ -40,10 +51,9 @@ module Make (N : Network.Intf.COUNTED) = struct
       Array.fold_left (fun acc l -> max acc arrival.(l)) 0.0 cut.C.leaves +. 1.0
     in
     let cut_area_flow cut =
-      let inner =
-        Array.fold_left (fun acc l -> acc +. area_flow.(l)) 1.0 cut.C.leaves
-      in
-      inner
+      Array.fold_left
+        (fun acc l -> acc +. area_flow.(l))
+        (cut_price cut) cut.C.leaves
     in
     let select_pass ~area_mode required =
       List.iter

@@ -9,10 +9,12 @@ module Make (N : Network.Intf.NETWORK) = struct
   module M = Mffc.Make (N)
   module W = Window.Make (N)
   module B = Network.Build.Make (N)
+  module Co = Cost.Make (N)
 
   (* Evaluate replacing the MFFC of [n] by a resynthesized structure;
-     substitutes when the gain passes the threshold. *)
-  let try_node net n ~max_inputs ~allow_zero_gain ~tried ~rejected ~trace
+     substitutes when the gain (measured by the shared cost engine) passes
+     the threshold. *)
+  let try_node eng net n ~max_inputs ~allow_zero_gain ~tried ~rejected ~trace
       ~sampling ~metrics ~h_inputs ~h_gain =
     let leaves = M.leaves net n in
     let leaves = List.filter (fun l -> not (N.is_constant net l)) leaves in
@@ -24,9 +26,8 @@ module Make (N : Network.Intf.NETWORK) = struct
       let values = W.simulate net w in
       let root_tt = Hashtbl.find values n in
       let leaf_sigs = Array.map N.signal_of_node w.W.leaves in
-      let g_before = N.num_gates net in
+      let mark = eng.Co.mark net in
       let s = B.of_tt net leaf_sigs root_tt in
-      let added = N.num_gates net - g_before in
       let root = N.node_of_signal s in
       if root = n || T.cone_contains net ~root ~leaves:w.W.leaves n then begin
         N.take_out_if_dead net root;
@@ -34,10 +35,10 @@ module Make (N : Network.Intf.NETWORK) = struct
       end
       else begin
         incr tried;
-        let freed = 1 + N.recursive_deref net n in
-        ignore (N.recursive_ref net n);
+        let added = eng.Co.added net ~mark ~root in
+        let freed = eng.Co.freed net n in
         let gain = freed - added in
-        if gain > 0 || (allow_zero_gain && gain = 0) then begin
+        if Co.accept ~zero_gain:allow_zero_gain eng gain then begin
           N.substitute_node net n s;
           if Obs.Metrics.enabled metrics then Obs.Metrics.observe h_gain gain;
           if sampling then
@@ -57,8 +58,9 @@ module Make (N : Network.Intf.NETWORK) = struct
     end
 
   (* One refactoring pass; returns the number of substitutions. *)
-  let run (net : N.t) ?(trace = Obs.Trace.null) ?(max_inputs = 10)
-      ?(allow_zero_gain = false) () : int =
+  let run (net : N.t) ?(trace = Obs.Trace.null) ?(cost = Cost.Spec.Area)
+      ?(max_inputs = 10) ?(allow_zero_gain = false) () : int =
+    let eng = Co.engine cost in
     let substitutions = ref 0 in
     let tried = ref 0 and rejected = ref 0 in
     let sampling = Obs.Trace.sampling trace in
@@ -71,7 +73,7 @@ module Make (N : Network.Intf.NETWORK) = struct
           N.is_gate net n
           && (not (N.is_dead net n))
           && N.ref_count net n > 0
-          && try_node net n ~max_inputs ~allow_zero_gain ~tried ~rejected
+          && try_node eng net n ~max_inputs ~allow_zero_gain ~tried ~rejected
                ~trace ~sampling ~metrics ~h_inputs ~h_gain
         then incr substitutions)
       (T.order net);

@@ -21,6 +21,7 @@ module Make (N : Network.Intf.NETWORK) = struct
   module R = Reconv.Make (N)
   module W = Window.Make (N)
   module M = Mffc.Make (N)
+  module Co = Cost.Make (N)
 
   (* literal = (signal, function over window leaves) *)
   type literal = N.signal * Tt.t
@@ -253,9 +254,10 @@ module Make (N : Network.Intf.NETWORK) = struct
 
   (* One resubstitution pass (paper Algorithm 5). *)
   let run (net : N.t) ~(kernel : kernel) ?(trace = Obs.Trace.null)
-      ?(max_leaves = 8) ?(max_divisors = 24) ?(max_inserted = 1)
-      ?(use_odc = false) () : int =
+      ?(cost = Cost.Spec.Area) ?(max_leaves = 8) ?(max_divisors = 24)
+      ?(max_inserted = 1) ?(use_odc = false) () : int =
     let module O = Odc.Make (N) in
+    let eng = Co.engine cost in
     let substitutions = ref 0 in
     let tried = ref 0 and rejected = ref 0 in
     let sampling = Obs.Trace.sampling trace in
@@ -304,18 +306,17 @@ module Make (N : Network.Intf.NETWORK) = struct
               let rec attempt k =
                 if k > max_inserted || k >= mffc_size then ()
                 else begin
-                  let g_before = N.num_gates net in
+                  let mark = eng.Co.mark net in
                   match try_kernel ~care net kernel k lits target with
                   | None -> attempt (k + 1)
                   | Some s ->
                     incr tried;
-                    let added = N.num_gates net - g_before in
                     let root = N.node_of_signal s in
-                    let freed = 1 + N.recursive_deref net n in
-                    ignore (N.recursive_ref net n);
+                    let added = eng.Co.added net ~mark ~root in
+                    let freed = eng.Co.freed net n in
                     let gain = freed - added in
                     if
-                      gain > 0 && root <> n
+                      Co.accept eng gain && root <> n
                       && not (T.cone_contains net ~root ~leaves:stop_nodes n)
                     then begin
                       N.substitute_node net n s;

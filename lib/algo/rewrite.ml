@@ -12,6 +12,7 @@ module Make (N : Network.Intf.NETWORK) = struct
   module T = Topo.Make (N)
   module D = Exact.Decode.Make (N)
   module B = Network.Build.Make (N)
+  module Co = Cost.Make (N)
 
   type stats = {
     mutable candidates : int;
@@ -57,30 +58,32 @@ module Make (N : Network.Intf.NETWORK) = struct
     ignore n;
     Array.length cut.C.leaves >= 2 && Array.for_all leaf_ok cut.C.leaves
 
-  (* Measure the DAG-aware gain of one candidate builder, leaving the
-     network unchanged. *)
-  let evaluate_builder net n (cut : C.cut) builder =
-    let g_before = N.num_gates net in
+  (* Measure the DAG-aware gain of one candidate builder through the
+     shared cost engine, leaving the network unchanged. *)
+  let evaluate_builder eng net n (cut : C.cut) builder =
+    let mark = eng.Co.mark net in
     match builder () with
     | None -> None
     | Some s ->
       let root = N.node_of_signal s in
-      let added = N.num_gates net - g_before in
       if root = n || cone_contains net root cut.C.leaves n then begin
         N.take_out_if_dead net root;
         None
       end
       else begin
-        let freed = 1 + N.recursive_deref net n in
-        ignore (N.recursive_ref net n);
+        let added = eng.Co.added net ~mark ~root in
+        let freed = eng.Co.freed net n in
         let gain = freed - added in
         N.take_out_if_dead net root;
         Some gain
       end
 
-  (* One rewriting pass; returns the accumulated gain. *)
+  (* One rewriting pass; returns the accumulated gain (in units of the
+     chosen cost objective). *)
   let run (net : N.t) ~(db : Exact.Database.t) ?(trace = Obs.Trace.null)
-      ?(cut_size = 4) ?(cut_limit = 8) ?(allow_zero_gain = false) () : int =
+      ?(cost = Cost.Spec.Area) ?(cut_size = 4) ?(cut_limit = 8)
+      ?(allow_zero_gain = false) () : int =
+    let eng = Co.engine cost in
     let stats = { candidates = 0; substitutions = 0; gain = 0 } in
     let sampling = Obs.Trace.sampling trace in
     let metrics = Obs.Metrics.of_trace trace ~algo:"rewrite" in
@@ -94,8 +97,9 @@ module Make (N : Network.Intf.NETWORK) = struct
       (fun n ->
         if N.is_gate net n && (not (N.is_dead net n)) && N.ref_count net n > 0
         then begin
-          let mffc_size = 1 + N.recursive_deref net n in
-          ignore (N.recursive_ref net n);
+          (* structural MFFC size, used only to prune candidate builders;
+             always counted in gates regardless of the cost objective *)
+          let mffc_size = Co.area.Co.freed net n in
           if Obs.Metrics.enabled metrics then
             Obs.Metrics.observe h_mffc mffc_size;
           (* pick the best (cut, builder) by measured gain *)
@@ -106,13 +110,13 @@ module Make (N : Network.Intf.NETWORK) = struct
                 let leaf_sigs = Array.map N.signal_of_node cut.C.leaves in
                 List.iter
                   (fun builder ->
-                    match evaluate_builder net n cut builder with
+                    match evaluate_builder eng net n cut builder with
                     | None -> ()
                     | Some gain ->
                       stats.candidates <- stats.candidates + 1;
                       let keep =
                         match !best with
-                        | None -> gain > 0 || (allow_zero_gain && gain = 0)
+                        | None -> Co.accept ~zero_gain:allow_zero_gain eng gain
                         | Some (bg, _, _) -> gain > bg
                       in
                       if keep then best := Some (gain, cut, builder))

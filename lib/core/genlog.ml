@@ -63,6 +63,7 @@ module Refactor = Algo.Refactor
 module Resub = Algo.Resub
 module Lutmap = Algo.Lutmap
 module Cec = Algo.Cec
+module Cost = Algo.Cost
 
 (* SAT and exact synthesis *)
 module Sat = Satkit.Solver

@@ -9,46 +9,51 @@ type env = {
   kernel : Algo.Resub.kernel;
   max_refactor_inputs : int;
   sat_jobs : int;  (* > 1 races a solver portfolio in SAT-heavy passes *)
+  cost : Algo.Cost.Spec.t;  (* optimization objective for every pass *)
 }
 
 (* Per-representation presets.  [cache] attaches the database to a
    persistent on-disk store (see Exact.Store): known NPN classes are
    loaded up front and new ones appended when the driver calls
    [Exact.Database.flush]. *)
-let aig_env ?(sat_jobs = 1) ?cache () =
+let aig_env ?(sat_jobs = 1) ?(cost = Algo.Cost.Spec.Area) ?cache () =
   {
     db =
       Exact.Database.create ?store:cache { Exact.Synth.aig_config with sat_jobs };
     kernel = Algo.Resub.And_or;
     max_refactor_inputs = 10;
     sat_jobs;
+    cost;
   }
 
-let xag_env ?(sat_jobs = 1) ?cache () =
+let xag_env ?(sat_jobs = 1) ?(cost = Algo.Cost.Spec.Area) ?cache () =
   {
     db =
       Exact.Database.create ?store:cache { Exact.Synth.xag_config with sat_jobs };
     kernel = Algo.Resub.And_or_xor;
     max_refactor_inputs = 10;
     sat_jobs;
+    cost;
   }
 
-let mig_env ?(sat_jobs = 1) ?cache () =
+let mig_env ?(sat_jobs = 1) ?(cost = Algo.Cost.Spec.Area) ?cache () =
   {
     db =
       Exact.Database.create ?store:cache { Exact.Synth.mig_config with sat_jobs };
     kernel = Algo.Resub.Maj3;
     max_refactor_inputs = 10;
     sat_jobs;
+    cost;
   }
 
-let xmg_env ?(sat_jobs = 1) ?cache () =
+let xmg_env ?(sat_jobs = 1) ?(cost = Algo.Cost.Spec.Area) ?cache () =
   {
     db =
       Exact.Database.create ?store:cache { Exact.Synth.xmg_config with sat_jobs };
     kernel = Algo.Resub.Maj3;
     max_refactor_inputs = 10;
     sat_jobs;
+    cost;
   }
 
 (* The typed run configuration selects the whole env in one step. *)
@@ -60,7 +65,12 @@ let env_of_config (cfg : Run_config.t) =
     | Run_config.Xag -> xag_env
     | Run_config.Xmg -> xmg_env
   in
-  mk ~sat_jobs:cfg.Run_config.sat_jobs ?cache:cfg.Run_config.cache ()
+  let cost =
+    match Algo.Cost.Spec.of_string cfg.Run_config.cost with
+    | Ok c -> c
+    | Error e -> invalid_arg ("run config: " ^ e)
+  in
+  mk ~sat_jobs:cfg.Run_config.sat_jobs ~cost ?cache:cfg.Run_config.cache ()
 
 (* Snapshot the exact-synthesis database counters into the trace as
    metrics gauges (algo "exact_db"), so report/QoR tooling can see cache
@@ -119,6 +129,7 @@ module Make (N : Network.Intf.NETWORK) = struct
   module Dp = Algo.Depth.Make (N)
   module Cl = Network.Convert.Cleanup (N)
   module Fr = Algo.Fraig.Make (N)
+  module Co = Algo.Cost.Make (N)
 
   let network_stats (net : N.t) : stats =
     { nodes = N.num_gates net; levels = Dp.depth net }
@@ -126,18 +137,21 @@ module Make (N : Network.Intf.NETWORK) = struct
   let dispatch (env : env) ~trace (net : N.t) (cmd : Script.command) : unit =
     if Fault.active () then Fault.fire "engine.pass";
     match cmd with
-    | Script.Balance -> ignore (Bal.run ~trace net)
+    | Script.Balance -> ignore (Bal.run ~trace ~cost:env.cost net)
     | Script.Rewrite { zero_gain } ->
-      ignore (Rw.run net ~db:env.db ~trace ~allow_zero_gain:zero_gain ())
+      ignore
+        (Rw.run net ~db:env.db ~trace ~cost:env.cost
+           ~allow_zero_gain:zero_gain ())
     | Script.Refactor { zero_gain } ->
       ignore
-        (Rf.run net ~trace ~max_inputs:env.max_refactor_inputs
-           ~allow_zero_gain:zero_gain ())
+        (Rf.run net ~trace ~cost:env.cost
+           ~max_inputs:env.max_refactor_inputs ~allow_zero_gain:zero_gain ())
     | Script.Resub { cut_size; max_inserted } ->
       ignore
-        (Rs.run net ~kernel:env.kernel ~trace ~max_leaves:cut_size
-           ~max_inserted ())
-    | Script.Fraig -> ignore (Fr.run net ~trace ~sat_jobs:env.sat_jobs ())
+        (Rs.run net ~kernel:env.kernel ~trace ~cost:env.cost
+           ~max_leaves:cut_size ~max_inserted ())
+    | Script.Fraig ->
+      ignore (Fr.run net ~trace ~cost:env.cost ~sat_jobs:env.sat_jobs ())
 
   (* Interpret one script command as a traced span: a [pass_begin] /
      [pass_end] pair bracketing the command, carrying gate count and depth
@@ -202,8 +216,11 @@ module Make (N : Network.Intf.NETWORK) = struct
      - A pass that raises is rolled back: the in-place network may be
        mid-rewrite, so work resumes from a copy of the checkpoint, and an
        "exception" marker records the pass.  Later passes still run.
-     - Cost is (gates, depth) lexicographic, [<=] so zero-gain passes
-       (rwz/rfz) keep their semantics of refreshing the checkpoint.
+     - Cost is the env's objective as a lexicographic
+       (objective, gates, depth) triple (for the default area objective
+       this degenerates to the historical (gates, depth) order), [<=] so
+       zero-gain passes (rwz/rfz) keep their semantics of refreshing the
+       checkpoint.
 
      The degradation list is empty iff the run behaved exactly like
      [run_script].  Each marker is also emitted as a trace event plus an
@@ -219,7 +236,8 @@ module Make (N : Network.Intf.NETWORK) = struct
         :: !degradations;
       Obs.Trace.degraded trace ~pass ~reason ~detail
     in
-    let cost (n : N.t) = (N.num_gates n, Dp.depth n) in
+    let eng = Co.engine env.cost in
+    let cost (n : N.t) = Co.network_cost eng n in
     let best = ref (Copy.convert net) in
     let best_cost = ref (cost net) in
     let work = ref net in

@@ -37,6 +37,7 @@ module Make (N : Network.Intf.NETWORK) = struct
   module Copy = Network.Convert.Make (N) (N)
   module Sim = Algo.Simulate.Cross (N) (N)
   module Cec = Algo.Cec.Make (N) (N)
+  module Co = Algo.Cost.Make (N)
 
   type partition = {
     id : int;
@@ -238,9 +239,14 @@ module Make (N : Network.Intf.NETWORK) = struct
     | [] -> ()
     | { Engine.d_reason; d_detail; _ } :: _ ->
       Obs.Trace.degraded trace ~pass ~reason:d_reason ~detail:d_detail);
+    (* stitch gate: the piece is worth keeping only if it strictly
+       improves the env's objective as a lexicographic
+       (objective, gates, depth) triple — for the default area objective
+       this is exactly the historical "fewer gates, or gates-equal with
+       less depth" rule *)
     let improved =
-      let ga = N.num_gates optimized in
-      ga < gates_before || (ga = gates_before && Dp.depth optimized < Dp.depth sub)
+      let eng = Co.engine st.env.Engine.cost in
+      Co.network_better eng ~before:sub ~after:optimized
     in
     let chosen, verdict, sim_mismatch, cec_checked =
       if not improved then (sub, Rejected_cost, false, false)

@@ -24,6 +24,7 @@ type t = {
   sat_jobs : int;  (* diversified SAT portfolio width; 1 = single solver *)
   budget : int;  (* CEC conflict budget; 0 = ladder default, <0 = complete *)
   kernel : string;  (* SAT kernel: "modern" | "legacy" *)
+  cost : string;  (* optimization objective spec, e.g. "area", "depth" *)
   cache : string option;  (* persistent exact-synthesis store path *)
   timeout : float;  (* wall-clock budget per network, seconds; 0 = none *)
   retries : int;  (* extra attempts for a failed batch/partition job *)
@@ -55,6 +56,7 @@ let default =
     sat_jobs = 1;
     budget = 0;
     kernel = "modern";
+    cost = "area";
     cache = None;
     timeout = 0.;
     retries = 0;
@@ -64,7 +66,7 @@ let default =
 let make ?(representation = default.representation) ?(script = default.script)
     ?trace_path ?(stats = false) ?(sample = 0) ?(partition = 0)
     ?(jobs = default.jobs) ?(sat_jobs = 1) ?(budget = 0) ?(kernel = "modern")
-    ?cache ?(timeout = 0.) ?(retries = 0) ?faults () =
+    ?(cost = default.cost) ?cache ?(timeout = 0.) ?(retries = 0) ?faults () =
   {
     representation;
     script;
@@ -76,6 +78,7 @@ let make ?(representation = default.representation) ?(script = default.script)
     sat_jobs;
     budget;
     kernel;
+    cost;
     cache;
     timeout;
     retries;
@@ -123,6 +126,11 @@ let with_env cfg =
       (match str_env "GENLOG_SAT_KERNEL" cfg.kernel with
       | ("modern" | "legacy") as k -> k
       | _ -> cfg.kernel);
+    cost =
+      (let c = str_env "GENLOG_COST" cfg.cost in
+       match Algo.Cost.Spec.validate_string c with
+       | Ok () -> c
+       | Error _ -> cfg.cost);
     cache = opt_env "GENLOG_CACHE" cfg.cache;
     timeout = float_env "GENLOG_TIMEOUT" cfg.timeout;
     retries = int_env "GENLOG_RETRIES" cfg.retries;
@@ -168,11 +176,12 @@ let json_opt = function None -> "null" | Some s -> json_string s
 
 let to_json cfg =
   Printf.sprintf
-    "{\"representation\":%s,\"script\":%s,\"trace\":%s,\"stats\":%b,\"sample\":%d,\"partition\":%d,\"jobs\":%d,\"sat_jobs\":%d,\"budget\":%d,\"kernel\":%s,\"cache\":%s,\"timeout\":%.6g,\"retries\":%d,\"faults\":%s}"
+    "{\"representation\":%s,\"script\":%s,\"trace\":%s,\"stats\":%b,\"sample\":%d,\"partition\":%d,\"jobs\":%d,\"sat_jobs\":%d,\"budget\":%d,\"kernel\":%s,\"cost\":%s,\"cache\":%s,\"timeout\":%.6g,\"retries\":%d,\"faults\":%s}"
     (json_string (representation_to_string cfg.representation))
     (json_string cfg.script) (json_opt cfg.trace_path) cfg.stats cfg.sample
     cfg.partition cfg.jobs cfg.sat_jobs cfg.budget (json_string cfg.kernel)
-    (json_opt cfg.cache) cfg.timeout cfg.retries (json_opt cfg.faults)
+    (json_string cfg.cost) (json_opt cfg.cache) cfg.timeout cfg.retries
+    (json_opt cfg.faults)
 
 let of_json (j : Obs.Json.t) : (t, string) result =
   match j with
@@ -198,9 +207,17 @@ let of_json (j : Obs.Json.t) : (t, string) result =
       | Some (("modern" | "legacy") as k) -> Ok k
       | Some k -> Error (Printf.sprintf "unknown kernel %S" k)
     in
-    match (rep, kernel) with
-    | Error e, _ | _, Error e -> Error e
-    | Ok representation, Ok kernel ->
+    let cost =
+      match Obs.Json.str_member "cost" j with
+      | None -> Ok default.cost
+      | Some c -> (
+        match Algo.Cost.Spec.validate_string c with
+        | Ok () -> Ok c
+        | Error e -> Error (Printf.sprintf "bad cost spec %S: %s" c e))
+    in
+    match (rep, kernel, cost) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    | Ok representation, Ok kernel, Ok cost ->
       Ok
         {
           representation;
@@ -215,6 +232,7 @@ let of_json (j : Obs.Json.t) : (t, string) result =
           sat_jobs = int "sat_jobs" 1;
           budget = int "budget" 0;
           kernel;
+          cost;
           cache = opt "cache";
           timeout =
             Option.value ~default:default.timeout

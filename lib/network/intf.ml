@@ -23,6 +23,7 @@
      BUILDER      SIGNALS + CONSTRUCT           circuit generators, decoders
      TRAVERSABLE  STRUCTURE + SCRATCH           topo, depth, cuts, simulation
      COUNTED      TRAVERSABLE + REFCOUNT        MFFC, windows, LUT mapping
+     COSTED       TRAVERSABLE + REFCOUNT        cost engines (Algo.Cost)
      SWEEPABLE    TRAVERSABLE + RESTRUCTURE     SAT sweeping (fraig)
      NETWORK      everything                    rewrite, refactor, resub, ...
 
@@ -182,6 +183,50 @@ end
 module type COUNTED = sig
   include TRAVERSABLE
   include REFCOUNT with type t := t and type node := int
+end
+
+(** Traversal plus reference counting, named as the seam the cost-generic
+    optimization layer ([Algo.Cost]) hangs off: a cost instance needs to
+    walk the network ({!TRAVERSABLE}) and to account DAG-aware gain
+    through MFFCs ({!REFCOUNT}), nothing more.  Structurally identical to
+    {!COUNTED}; the separate name keeps the dependency honest — an
+    algorithm demanding [COSTED] declares that it prices nodes, not that
+    it maps them. *)
+module type COSTED = sig
+  include TRAVERSABLE
+  include REFCOUNT with type t := t and type node := int
+end
+
+(** A cost objective over one network representation [net]: a commutative
+    monoid [(t, zero, add)] with a total order [compare], a per-node price
+    [of_node] and a whole-network objective [eval].  The conformance laws
+    (checked for every built-in instance by [test_cost]):
+
+    - [add zero x = x] and [add x zero = x]             (identity)
+    - [add (add a b) c = add a (add b c)]               (associativity)
+    - [add a b = add b a]                               (commutativity)
+    - [compare] is a total order consistent with [equal = 0]
+    - [eval net] equals the [add]-fold of [of_node net] over live gates
+
+    Additive objectives (area, edges, activity, LUT count, weights) use
+    integer [add = (+)]; depth is the max-monoid ([add = max]), which is
+    why [eval] is part of the signature rather than derived. *)
+module type COST = sig
+  type net
+  type t
+
+  val name : string
+  val zero : t
+  val add : t -> t -> t
+  val compare : t -> t -> int
+  val of_node : net -> int -> t
+  val eval : net -> t
+  val to_int : t -> int
+  (** Order-embedding into [int] ([compare a b] agrees with
+      [Int.compare (to_int a) (to_int b)]); lets engines and telemetry
+      treat every objective uniformly. *)
+
+  val to_string : t -> string
 end
 
 (** Traversal plus substitution, without construction: enough to merge

@@ -37,11 +37,16 @@ let write name (rows : (string * value) list list) =
     | Some c -> Printf.sprintf "  \"cache\": %s,\n" c
     | None -> ""
   in
+  let cost =
+    match Runmeta.cost_json () with
+    | Some c -> Printf.sprintf "  \"cost\": %s,\n" c
+    | None -> ""
+  in
   Printf.fprintf oc
-    "{\n  \"bench\": \"%s\",\n  %s,\n%s  \"generated_unix\": %.0f,\n  \"rows\": [\n"
+    "{\n  \"bench\": \"%s\",\n  %s,\n%s%s  \"generated_unix\": %.0f,\n  \"rows\": [\n"
     (escape name)
     (Runmeta.json_fields ())
-    cache (Unix.time ());
+    cache cost (Unix.time ());
   List.iteri
     (fun i row ->
       if i > 0 then output_string oc ",\n";

@@ -294,6 +294,27 @@ let pp_bench fmt (j : Json.t) =
 let qor_fields = [ "nodes"; "levels"; "luts"; "lut_levels" ]
 let time_fields = [ "seconds"; "seconds_sum" ]
 
+(* The gated QoR field set follows the run's cost objective (the "cost"
+   header stamped by Runmeta): an area run gates the historical four
+   fields, a depth run gates the level metrics, and so on.  An "objective"
+   row field (the cost engine's own eval) is gated whenever present.
+   Unknown or absent specs fall back to the historical set so old
+   artifacts keep gating as before. *)
+let qor_fields_for (cost : string option) =
+  "objective"
+  ::
+  (match cost with
+  | None | Some "area" -> qor_fields
+  | Some "depth" -> [ "levels"; "lut_levels" ]
+  | Some "edges" -> [ "edges"; "nodes" ]
+  | Some "activity" -> [ "activity" ]
+  | Some c when String.length c >= 3 && String.sub c 0 3 = "lut" ->
+    [ "luts"; "lut_levels" ]
+  | Some c when String.length c >= 8 && String.sub c 0 8 = "weights:" -> []
+  | Some _ -> qor_fields)
+
+let cost_of (doc : Json.t) = Json.str_member "cost" doc
+
 type thresholds = {
   qor_pct : float;   (* max allowed relative QoR regression, percent *)
   time_pct : float;  (* max allowed relative time regression, percent *)
@@ -309,6 +330,10 @@ let default_thresholds =
    what was compared and by how much it moved. *)
 let deltas ~baseline ~current : string list =
   let curr_rows = bench_rows current in
+  let gated =
+    qor_fields_for
+      (match cost_of current with Some c -> Some c | None -> cost_of baseline)
+  in
   let find b s =
     List.find_opt (fun r -> r.benchmark = b && r.stage = s) curr_rows
   in
@@ -319,8 +344,7 @@ let deltas ~baseline ~current : string list =
       | Some c ->
         List.filter_map
           (fun (key, base_v) ->
-            if not (List.mem key qor_fields || List.mem key time_fields) then
-              None
+            if not (List.mem key gated || List.mem key time_fields) then None
             else
               Option.map
                 (fun cur_v ->
@@ -347,6 +371,17 @@ let check ~baseline ~current (th : thresholds) : string list =
   | Some b, Some c when b > c ->
     problem "schema mismatch: baseline v%d is newer than current v%d" b c
   | _ -> ());
+  (* a run optimized for one objective must not be gated against a
+     baseline optimized for another: the comparison is meaningless and
+     silently passing it would hide real regressions *)
+  (match (cost_of baseline, cost_of current) with
+  | Some b, Some c when b <> c ->
+    problem "cost-spec mismatch: baseline optimized for %S, current for %S" b c
+  | _ -> ());
+  let gated =
+    qor_fields_for
+      (match cost_of current with Some c -> Some c | None -> cost_of baseline)
+  in
   List.iter
     (fun (b : bench_row) ->
       match find b.benchmark b.stage with
@@ -357,7 +392,7 @@ let check ~baseline ~current (th : thresholds) : string list =
             match List.assoc_opt key c.fields with
             | None -> ()
             | Some cur_v ->
-              let qor = List.mem key qor_fields in
+              let qor = List.mem key gated in
               let timed = List.mem key time_fields in
               if qor || (timed && th.check_time) then begin
                 let pct = if qor then th.qor_pct else th.time_pct in

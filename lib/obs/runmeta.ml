@@ -71,6 +71,16 @@ let cache_json () =
       ^ "}")
     !cache_fields
 
+(* Optional cost-objective spec ("area", "depth", "weights:FILE", ...)
+   stamped by the driver via [set_cost]; rendered into the trace meta line
+   and BENCH headers only when set, mirroring the cache block, so the QoR
+   gate ([Report.check]) can refuse to compare runs optimized for
+   different objectives. *)
+let cost_field : string option ref = ref None
+let set_cost spec = cost_field := Some spec
+let cost () = !cost_field
+let cost_json () = Option.map (fun s -> "\"" ^ escape s ^ "\"") !cost_field
+
 (* The fields as the inner part of a JSON object (no braces), numbers
    unquoted: [ "schema":2,"git_commit":"6cdd9ab",... ]. *)
 let json_fields () =

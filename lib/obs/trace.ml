@@ -357,8 +357,13 @@ let meta_line () =
     | Some c -> Printf.sprintf ",\"cache\":%s" c
     | None -> ""
   in
-  Printf.sprintf "{\"event\":\"meta\",%s%s,\"generated_unix\":%.0f}"
-    (Runmeta.json_fields ()) cache (Unix.time ())
+  let cost =
+    match Runmeta.cost_json () with
+    | Some c -> Printf.sprintf ",\"cost\":%s" c
+    | None -> ""
+  in
+  Printf.sprintf "{\"event\":\"meta\",%s%s%s,\"generated_unix\":%.0f}"
+    (Runmeta.json_fields ()) cache cost (Unix.time ())
 
 let write_channel t oc =
   output_string oc (meta_line ());

@@ -18,6 +18,8 @@ let () =
       ("capabilities", Test_capabilities.suite);
       ("extensions", Test_extensions.suite);
       ("fault", Test_fault.suite);
+      ("cost", Test_cost.suite);
+      ("golden", Test_golden.suite);
       ("equiv", Test_equiv.suite);
       ("props", Test_props.suite);
     ]

@@ -79,6 +79,7 @@ let env_with db kernel =
       kernel;
       max_refactor_inputs = 10;
       sat_jobs = 1;
+      cost = Algo.Cost.Spec.Area;
     }
 
 let aig_env = env_with aig_db Algo.Resub.And_or
@@ -146,6 +147,116 @@ let test_mig_algebraic () =
       t)
     ()
 
+(* -- the cost dimension: pass x representation x cost x seeds --
+
+   Every non-default objective must (a) stay CEC-equivalent and (b) never
+   be accepted with a worsened objective: the whole-pass objective delta,
+   measured by [Cost.eval] on cleaned copies, must be <= 0.  A failure
+   prints the replay seed augmented with the cost spec. *)
+
+let cost_seeds = Seed.list [ 101; 102 ]
+let cost_specs = [ Algo.Cost.Spec.Depth; Algo.Cost.Spec.Edges; Algo.Cost.Spec.Activity ]
+
+let check_pass_cost (type t) ~name ~(spec : Algo.Cost.Spec.t)
+    (module N : Intf.NETWORK with type t = t)
+    ~(pass : Algo.Cost.Spec.t -> t -> t) () =
+  let module G = Gen.Make (N) in
+  let module C = Algo.Cec.Make (N) (N) in
+  let module Cl = Convert.Cleanup (N) in
+  let module Co = Algo.Cost.Make (N) in
+  let cost_name = Algo.Cost.Spec.to_string spec in
+  let use_maj = N.max_fanin >= 3 in
+  List.iter
+    (fun seed ->
+      incr combos;
+      let t = G.generate ~use_maj ~seed ~num_pis:5 ~num_gates:40 ~num_pos:3 () in
+      let reference = Cl.cleanup t in
+      let before = Co.eval spec reference in
+      let result = pass spec t in
+      (match N.check_integrity result with
+      | [] -> ()
+      | errs ->
+        fuzz_log name seed;
+        Alcotest.failf "%s: GENLOG_TEST_SEED=%d cost=%s integrity: %s" name
+          seed cost_name
+          (String.concat "; " errs));
+      let after = Co.eval spec (Cl.cleanup result) in
+      if after > before then begin
+        fuzz_log name seed;
+        Alcotest.failf "%s: GENLOG_TEST_SEED=%d cost=%s objective worsened (%d -> %d)"
+          name seed cost_name before after
+      end;
+      match C.check reference result with
+      | Algo.Cec.Equivalent -> ()
+      | Algo.Cec.Counterexample _ ->
+        fuzz_log name seed;
+        Alcotest.failf "%s: GENLOG_TEST_SEED=%d cost=%s produced a counterexample"
+          name seed cost_name
+      | Algo.Cec.Unknown ->
+        fuzz_log name seed;
+        Alcotest.failf "%s: GENLOG_TEST_SEED=%d cost=%s cec unknown" name seed
+          cost_name)
+    cost_seeds
+
+let cost_pass_instances (type t) rep (module N : Intf.NETWORK with type t = t)
+    db kernel =
+  let mk pname pass spec =
+    Alcotest.test_case
+      (Printf.sprintf "%s %s cost=%s" pname rep
+         (Algo.Cost.Spec.to_string spec))
+      `Quick
+      (check_pass_cost
+         ~name:(Printf.sprintf "%s/%s" pname rep)
+         ~spec
+         (module N)
+         ~pass)
+  in
+  List.concat_map
+    (fun spec ->
+      [
+        mk "rewrite"
+          (fun cost t ->
+            let module Rw = Algo.Rewrite.Make (N) in
+            ignore (Rw.run t ~db:(Lazy.force db) ~cost ());
+            t)
+          spec;
+        mk "refactor"
+          (fun cost t ->
+            let module Rf = Algo.Refactor.Make (N) in
+            ignore (Rf.run t ~cost ());
+            t)
+          spec;
+        mk "resub"
+          (fun cost t ->
+            let module Rs = Algo.Resub.Make (N) in
+            ignore (Rs.run t ~kernel ~cost ~max_inserted:2 ());
+            t)
+          spec;
+        mk "balance"
+          (fun cost t ->
+            let module B = Algo.Balance.Make (N) in
+            ignore (B.run ~cost t);
+            t)
+          spec;
+      ])
+    cost_specs
+
+let cost_fraig_instances =
+  List.map
+    (fun spec ->
+      Alcotest.test_case
+        (Printf.sprintf "fraig aig cost=%s" (Algo.Cost.Spec.to_string spec))
+        `Quick
+        (check_pass_cost ~name:"fraig/aig" ~spec (module Aig)
+           ~pass:(fun cost t ->
+             let module Fr = Algo.Fraig.Make (Aig) in
+             ignore (Fr.run t ~cost ());
+             t)))
+    cost_specs
+
+(* 4 passes x 2 representations x 3 costs, plus fraig on aig x 3 costs *)
+let cost_combo_instances = (4 * 2 * 3) + 3
+
 (* two workers on the aig suite exercise the cross-domain path; the other
    representations run single-worker (spawning a domain pair per combo is
    pure overhead on small boxes) *)
@@ -158,7 +269,10 @@ let test_partition (type t) ?(jobs = 1) name
 let test_combo_count () =
   (* runs last: every combo above must have executed (Alcotest runs the
      suite sequentially in one process) *)
-  let expected = 25 * List.length seeds in
+  let expected =
+    (25 * List.length seeds)
+    + (cost_combo_instances * List.length cost_seeds)
+  in
   Alcotest.(check int) "all pass/rep/seed combos executed" expected !combos
 
 let suite =
@@ -196,5 +310,8 @@ let suite =
       (test_partition "mig" (module Mig) mig_env);
     Alcotest.test_case "partition xmg" `Quick
       (test_partition "xmg" (module Xmg) xmg_env);
-    Alcotest.test_case "combo count" `Quick test_combo_count;
   ]
+  @ cost_pass_instances "aig" (module Aig) aig_db Algo.Resub.And_or
+  @ cost_pass_instances "mig" (module Mig) mig_db Algo.Resub.Maj3
+  @ cost_fraig_instances
+  @ [ Alcotest.test_case "combo count" `Quick test_combo_count ]

@@ -39,10 +39,15 @@ let test_json_parser () =
 
 (* -- the QoR gate -- *)
 
-let bench_json rows =
+let bench_json ?cost rows =
+  let cost_header =
+    match cost with
+    | None -> ""
+    | Some c -> Printf.sprintf "\"cost\":\"%s\"," c
+  in
   J.parse
     (Printf.sprintf
-       "{\"bench\":\"t\",\"schema\":2,\"rows\":[%s]}"
+       "{\"bench\":\"t\",\"schema\":2,%s\"rows\":[%s]}" cost_header
        (String.concat ","
           (List.map
              (fun (b, s, fields) ->
@@ -121,6 +126,71 @@ let test_check_missing_row_fails () =
   in
   Alcotest.(check int) "dropped benchmark is a regression" 1
     (List.length problems)
+
+(* -- the cost-aware gate -- *)
+
+let mentions problems needle =
+  List.exists
+    (fun p ->
+      let n = String.length p and m = String.length needle in
+      let rec scan i = i + m <= n && (String.sub p i m = needle || scan (i + 1)) in
+      scan 0)
+    problems
+
+let test_check_cost_mismatch () =
+  (* comparing runs optimized for different objectives is meaningless and
+     must be flagged rather than silently passing *)
+  let rows = [ ("ctrl", "generic", [ ("nodes", 150.0) ]) ] in
+  let problems =
+    R.check
+      ~baseline:(bench_json ~cost:"area" rows)
+      ~current:(bench_json ~cost:"depth" rows)
+      R.default_thresholds
+  in
+  Alcotest.(check bool) "mismatch flagged" true
+    (mentions problems "cost-spec mismatch");
+  (* same spec on both sides: no mismatch problem *)
+  Alcotest.(check (list string))
+    "matching cost passes" []
+    (R.check
+       ~baseline:(bench_json ~cost:"depth" rows)
+       ~current:(bench_json ~cost:"depth" rows)
+       R.default_thresholds)
+
+let test_check_cost_gated_fields () =
+  (* a depth run gates levels, not nodes: an area explosion alone passes,
+     a level regression fails *)
+  let base =
+    bench_json ~cost:"depth"
+      [ ("ctrl", "generic", [ ("nodes", 150.0); ("levels", 20.0) ]) ]
+  in
+  let fatter_but_flat =
+    bench_json ~cost:"depth"
+      [ ("ctrl", "generic", [ ("nodes", 400.0); ("levels", 20.0) ]) ]
+  in
+  Alcotest.(check (list string))
+    "depth gate ignores node growth" []
+    (R.check ~baseline:base ~current:fatter_but_flat R.default_thresholds);
+  let deeper =
+    bench_json ~cost:"depth"
+      [ ("ctrl", "generic", [ ("nodes", 150.0); ("levels", 30.0) ]) ]
+  in
+  let problems =
+    R.check ~baseline:base ~current:deeper R.default_thresholds
+  in
+  Alcotest.(check bool) "depth gate flags levels" true
+    (mentions problems "levels");
+  (* the engine's own objective field is gated whenever present *)
+  let with_obj v =
+    bench_json ~cost:"depth"
+      [ ("ctrl", "generic", [ ("objective", v); ("levels", 20.0) ]) ]
+  in
+  let problems =
+    R.check ~baseline:(with_obj 20.0) ~current:(with_obj 40.0)
+      R.default_thresholds
+  in
+  Alcotest.(check bool) "objective regression flagged" true
+    (mentions problems "objective")
 
 (* -- JSONL round-trip through the offline loader -- *)
 
@@ -226,6 +296,10 @@ let suite =
       test_check_flags_regressions;
     Alcotest.test_case "qor gate: dropped row fails" `Quick
       test_check_missing_row_fails;
+    Alcotest.test_case "qor gate: cost-spec mismatch" `Quick
+      test_check_cost_mismatch;
+    Alcotest.test_case "qor gate: cost-gated fields" `Quick
+      test_check_cost_gated_fields;
     Alcotest.test_case "trace jsonl round-trip" `Quick test_trace_roundtrip;
     Alcotest.test_case "chrome export golden" `Quick test_chrome_export;
   ]

@@ -10,8 +10,8 @@ let test_json_round_trip () =
   let c =
     RC.make ~representation:RC.Xmg ~script:"bz; rw; rf" ~trace_path:"t.jsonl"
       ~stats:true ~sample:10 ~partition:500 ~jobs:3 ~sat_jobs:2 ~budget:1000
-      ~kernel:"legacy" ~cache:"/tmp/store.glxs" ~timeout:1.5 ~retries:2
-      ~faults:"parmap.job:0.1,sat.solve:1:2" ()
+      ~kernel:"legacy" ~cost:"depth" ~cache:"/tmp/store.glxs" ~timeout:1.5
+      ~retries:2 ~faults:"parmap.job:0.1,sat.solve:1:2" ()
   in
   match RC.of_json_string (RC.to_json c) with
   | Ok c' -> Alcotest.check cfg "round-trips" c c'
@@ -29,6 +29,9 @@ let test_json_rejects_unknown () =
   | Error _ -> ());
   (match RC.of_json_string "{\"kernel\":\"quantum\"}" with
   | Ok _ -> Alcotest.fail "accepted unknown kernel"
+  | Error _ -> ());
+  (match RC.of_json_string "{\"cost\":\"bogus\"}" with
+  | Ok _ -> Alcotest.fail "accepted unknown cost spec"
   | Error _ -> ());
   match RC.of_json_string "[1,2]" with
   | Ok _ -> Alcotest.fail "accepted non-object"
@@ -74,6 +77,24 @@ let test_env_overrides () =
       (* unparsable integers keep the default rather than failing *)
       Alcotest.(check int) "bad int ignored" RC.default.RC.jobs c.RC.jobs)
 
+let test_env_cost () =
+  Alcotest.(check string) "default cost is area" "area" RC.default.RC.cost;
+  with_env
+    [ ("GENLOG_COST", "depth") ]
+    (fun () ->
+      Alcotest.(check string) "cost from env" "depth" (RC.of_env ()).RC.cost);
+  with_env
+    [ ("GENLOG_COST", "bogus") ]
+    (fun () ->
+      (* invalid specs are ignored, like unparsable integers *)
+      Alcotest.(check string) "bad cost ignored" "area" (RC.of_env ()).RC.cost);
+  (* syntax-only validation: a weights spec round-trips through JSON even
+     when the file is not present on the consuming machine *)
+  let c = RC.make ~cost:"weights:/nonexistent/w.txt" () in
+  match RC.of_json_string (RC.to_json c) with
+  | Ok c' -> Alcotest.check cfg "weights spec round-trips" c c'
+  | Error e -> Alcotest.fail e
+
 let test_env_layering () =
   (* env overrides defaults, explicit values override env *)
   with_env
@@ -111,6 +132,7 @@ let suite =
     Alcotest.test_case "json defaults" `Quick test_json_defaults;
     Alcotest.test_case "json rejects unknown" `Quick test_json_rejects_unknown;
     Alcotest.test_case "env overrides" `Quick test_env_overrides;
+    Alcotest.test_case "env cost spec" `Quick test_env_cost;
     Alcotest.test_case "env layering" `Quick test_env_layering;
     Alcotest.test_case "solver config" `Quick test_solver_config;
     Alcotest.test_case "representation strings" `Quick
